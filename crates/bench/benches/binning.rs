@@ -1,0 +1,36 @@
+//! Point-binning micro-benchmarks: the bin phase of DD (replicated) and PD
+//! (partitioned), whose cost appears in every decomposed run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stkde_data::{binning, synth, Point};
+use stkde_grid::{Decomp, Decomposition, Domain, GridDims, VoxelBandwidth};
+
+fn setup() -> (Domain, Vec<Point>) {
+    let domain = Domain::from_dims(GridDims::new(128, 128, 64));
+    let points = synth::uniform(50_000, domain.extent(), 3).into_vec();
+    (domain, points)
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let (domain, points) = setup();
+    let vbw = VoxelBandwidth::new(4, 2);
+    let mut group = c.benchmark_group("binning_50k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for k in [4usize, 16] {
+        let decomp = Decomposition::new(domain.dims(), Decomp::cubic(k));
+        group.bench_with_input(BenchmarkId::new("plain", format!("{k}^3")), &decomp, |b, d| {
+            b.iter(|| binning::bin_points(&domain, d, &points))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("replicated", format!("{k}^3")),
+            &decomp,
+            |b, d| b.iter(|| binning::bin_points_replicated(&domain, d, &points, vbw)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binning);
+criterion_main!(benches);

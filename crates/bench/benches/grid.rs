@@ -1,0 +1,49 @@
+//! Grid substrate micro-benchmarks: the `Θ(G)` initialization term that
+//! dominates the sparse instances (paper Figure 7) and the DR reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stkde_grid::{reduce, Grid3, GridDims};
+
+fn bench_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_init");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dims in [GridDims::new(64, 64, 64), GridDims::new(128, 128, 64)] {
+        let mib = dims.bytes::<f32>() as f64 / (1024.0 * 1024.0);
+        group.bench_with_input(
+            BenchmarkId::new("zeros_lazy", format!("{dims}({mib:.0}MiB)")),
+            &dims,
+            |b, &d| b.iter(|| Grid3::<f32>::zeros(d)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zeros_touched", format!("{dims}({mib:.0}MiB)")),
+            &dims,
+            |b, &d| b.iter(|| Grid3::<f32>::zeros_touched(d)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zeros_parallel", format!("{dims}({mib:.0}MiB)")),
+            &dims,
+            |b, &d| b.iter(|| Grid3::<f32>::zeros_parallel(d)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_reduce");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let dims = GridDims::new(96, 96, 48);
+    for p in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("replicas", p), &p, |b, &p| {
+            b.iter_with_setup(
+                || (0..p).map(|_| Grid3::<f32>::zeros_touched(dims)).collect::<Vec<_>>(),
+                reduce::reduce,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init, bench_reduce);
+criterion_main!(benches);

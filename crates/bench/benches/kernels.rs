@@ -1,0 +1,67 @@
+//! Kernel evaluation micro-benchmarks: the per-voxel cost the PB-SYM
+//! invariants amortize away (paper §3.2: ≈40 flops per voxel update in the
+//! naive scheme).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stkde_kernels::{Epanechnikov, PaperLiteral, Quartic, SpaceTimeKernel, TruncatedGaussian, Uniform};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // A sweep of offsets covering in- and out-of-support evaluations,
+    // like a real cylinder fill.
+    let offsets: Vec<(f64, f64, f64)> = (0..512)
+        .map(|i| {
+            let f = i as f64 / 512.0;
+            (2.0 * f - 1.0, 1.0 - 2.0 * ((i * 7) % 512) as f64 / 512.0, 2.0 * f - 1.0)
+        })
+        .collect();
+
+    fn sweep<K: SpaceTimeKernel>(k: &K, offsets: &[(f64, f64, f64)]) -> f64 {
+        offsets
+            .iter()
+            .map(|&(u, v, w)| k.eval(u, v, w))
+            .sum::<f64>()
+    }
+
+    group.bench_function("epanechnikov_512", |b| {
+        b.iter(|| sweep(&Epanechnikov, black_box(&offsets)))
+    });
+    group.bench_function("paper_literal_512", |b| {
+        b.iter(|| sweep(&PaperLiteral, black_box(&offsets)))
+    });
+    group.bench_function("quartic_512", |b| {
+        b.iter(|| sweep(&Quartic, black_box(&offsets)))
+    });
+    group.bench_function("uniform_512", |b| {
+        b.iter(|| sweep(&Uniform, black_box(&offsets)))
+    });
+    group.bench_function("gaussian_512", |b| {
+        b.iter(|| sweep(&TruncatedGaussian::default(), black_box(&offsets)))
+    });
+
+    // Separated factors (what PB-SYM evaluates once per row/layer).
+    group.bench_function("spatial_factor_512", |b| {
+        b.iter(|| {
+            offsets
+                .iter()
+                .map(|&(u, v, _)| Epanechnikov.spatial(u, v))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("temporal_factor_512", |b| {
+        b.iter(|| {
+            offsets
+                .iter()
+                .map(|&(_, _, w)| Epanechnikov.temporal(w))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Parallel algorithm micro-benchmarks: the five strategies on one
+//! clustered instance (the regime where their differences matter).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stkde_core::parallel::{dd, dr, pd, pd_rep, pd_sched};
+use stkde_core::Problem;
+use stkde_data::{synth, Point};
+use stkde_grid::{Bandwidth, Decomp, Domain, GridDims};
+use stkde_kernels::Epanechnikov;
+
+fn instance() -> (Problem, Vec<Point>) {
+    let domain = Domain::from_dims(GridDims::new(64, 64, 32));
+    let spec = synth::ClusterSpec {
+        clusters: 4,
+        spatial_sigma: 0.04,
+        background: 0.1,
+        ..Default::default()
+    };
+    let points = spec.generate(2_000, domain.extent(), 2).into_vec();
+    (
+        Problem::new(domain, Bandwidth::new(4.0, 3.0), points.len()),
+        points,
+    )
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let (problem, points) = instance();
+    let k = Epanechnikov;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let decomp = Decomp::cubic(8);
+    let mut group = c.benchmark_group(format!("parallel_t{threads}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("dr", |b| {
+        b.iter(|| dr::run::<f32, _>(&problem, &k, &points, threads, usize::MAX).unwrap())
+    });
+    group.bench_function("dd_8c", |b| {
+        b.iter(|| dd::run::<f32, _>(&problem, &k, &points, decomp, threads).unwrap())
+    });
+    group.bench_function("pd_8c", |b| {
+        b.iter(|| pd::run::<f32, _>(&problem, &k, &points, decomp, threads).unwrap())
+    });
+    group.bench_function("pd_sched_8c", |b| {
+        b.iter(|| {
+            pd_sched::run::<f32, _>(
+                &problem,
+                &k,
+                &points,
+                decomp,
+                threads,
+                pd_sched::Ordering::LoadAware,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("pd_sched_rep_8c", |b| {
+        b.iter(|| {
+            pd_rep::run::<f32, _>(
+                &problem,
+                &k,
+                &points,
+                decomp,
+                threads,
+                pd_sched::Ordering::LoadAware,
+                usize::MAX,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Scheduling substrate micro-benchmarks: coloring, DAG construction,
+//! critical path, list-scheduling simulation, and the executor's raw task
+//! dispatch overhead on a 16³ stencil lattice (4096 subdomains — the
+//! paper's largest practical decompositions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stkde_grid::{Decomp, Decomposition, GridDims};
+use stkde_sched::{
+    critical_path, greedy_coloring, list_schedule, order_by_weight_desc, order_lexicographic,
+    parity_coloring, run_dag, StencilGraph, TaskDag,
+};
+
+fn lattice() -> (Decomposition, StencilGraph, Vec<f64>) {
+    let d = Decomposition::new(GridDims::new(128, 128, 128), Decomp::cubic(16));
+    let g = StencilGraph::from_decomposition(&d);
+    // Deterministic pseudo-random weights with a heavy tail.
+    let w: Vec<f64> = (0..g.n())
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 48;
+            1.0 + (h % 1000) as f64 * if i % 97 == 0 { 50.0 } else { 1.0 }
+        })
+        .collect();
+    (d, g, w)
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let (d, g, w) = lattice();
+    let mut group = c.benchmark_group("scheduling_16cubed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("stencil_graph_build", |b| {
+        b.iter(|| StencilGraph::from_decomposition(&d))
+    });
+    group.bench_function("parity_coloring", |b| b.iter(|| parity_coloring(&d)));
+    group.bench_function("greedy_coloring_lex", |b| {
+        b.iter(|| greedy_coloring(&g, &order_lexicographic(g.n())))
+    });
+    group.bench_function("greedy_coloring_load_aware", |b| {
+        b.iter(|| greedy_coloring(&g, &order_by_weight_desc(&w)))
+    });
+
+    let coloring = greedy_coloring(&g, &order_by_weight_desc(&w));
+    group.bench_function("dag_from_coloring", |b| {
+        b.iter(|| TaskDag::from_coloring(&g, &coloring, w.clone()))
+    });
+
+    let dag = TaskDag::from_coloring(&g, &coloring, w.clone());
+    group.bench_function("critical_path", |b| b.iter(|| critical_path(&dag)));
+    group.bench_function("list_schedule_p16", |b| {
+        b.iter(|| list_schedule(&dag, 16, &w))
+    });
+    group.bench_function("executor_noop_tasks_t2", |b| {
+        b.iter(|| run_dag(&dag, 2, &w, |_| {}))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Sequential algorithm micro-benchmarks — Table 3 in miniature: the
+//! VB → VB-DEC → PB → PB-DISK/PB-BAR → PB-SYM cost ladder on one small
+//! instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stkde_core::algorithms::{pb, pb_bar, pb_disk, pb_sym, vb, vb_dec};
+use stkde_core::Problem;
+use stkde_data::{synth, Point};
+use stkde_grid::{Bandwidth, Domain, GridDims};
+use stkde_kernels::Epanechnikov;
+
+fn instance() -> (Problem, Vec<Point>) {
+    let domain = Domain::from_dims(GridDims::new(48, 48, 24));
+    let points = synth::uniform(300, domain.extent(), 1).into_vec();
+    (Problem::new(domain, Bandwidth::new(5.0, 3.0), 300), points)
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let (problem, points) = instance();
+    let k = Epanechnikov;
+    let mut group = c.benchmark_group("sequential");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("vb", |b| {
+        b.iter(|| vb::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("vb_dec", |b| {
+        b.iter(|| vb_dec::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("pb", |b| {
+        b.iter(|| pb::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("pb_disk", |b| {
+        b.iter(|| pb_disk::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("pb_bar", |b| {
+        b.iter(|| pb_bar::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("pb_sym", |b| {
+        b.iter(|| pb_sym::run::<f32, _>(&problem, &k, &points))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

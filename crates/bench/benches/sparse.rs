@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the block-sparse grid extension:
+//! dense vs sparse `PB-SYM` on an init-dominated (Flu-like) and a
+//! compute-dominated (Dengue-like) miniature, plus the raw write
+//! primitives of both backends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stkde_core::algorithms::pb_sym;
+use stkde_core::{sparse, Problem};
+use stkde_data::{synth, Point};
+use stkde_grid::{Bandwidth, BlockDims, Domain, Grid3, GridDims, SparseGrid3};
+use stkde_kernels::Epanechnikov;
+
+/// Flu-like: few points scattered over a large grid — init dominates.
+fn sparse_instance() -> (Problem, Vec<Point>) {
+    let domain = Domain::from_dims(GridDims::new(192, 192, 96));
+    let points = synth::uniform(64, domain.extent(), 3).into_vec();
+    (Problem::new(domain, Bandwidth::new(2.0, 2.0), 64), points)
+}
+
+/// Dengue-like: many clustered points on a small grid — compute dominates.
+fn dense_instance() -> (Problem, Vec<Point>) {
+    let domain = Domain::from_dims(GridDims::new(48, 48, 32));
+    let points = synth::uniform(2000, domain.extent(), 4).into_vec();
+    (
+        Problem::new(domain, Bandwidth::new(6.0, 4.0), 2000),
+        points,
+    )
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let k = Epanechnikov;
+    let mut group = c.benchmark_group("sparse_backend");
+    group.sample_size(10);
+
+    let (problem, points) = sparse_instance();
+    group.bench_function("flu_like/dense_pb_sym", |b| {
+        b.iter(|| pb_sym::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("flu_like/sparse_pb_sym", |b| {
+        b.iter(|| sparse::run::<f32, _>(&problem, &k, &points))
+    });
+
+    let (problem, points) = dense_instance();
+    group.bench_function("dengue_like/dense_pb_sym", |b| {
+        b.iter(|| pb_sym::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("dengue_like/sparse_pb_sym", |b| {
+        b.iter(|| sparse::run::<f32, _>(&problem, &k, &points))
+    });
+    group.finish();
+}
+
+fn bench_write_primitives(c: &mut Criterion) {
+    let dims = GridDims::new(256, 64, 64);
+    let vals = vec![0.5f64; 64];
+    let mut group = c.benchmark_group("row_writes");
+
+    group.bench_function("dense_row_add", |b| {
+        let mut g: Grid3<f32> = Grid3::zeros(dims);
+        b.iter(|| {
+            for t in 0..64 {
+                let row = g.row_mut(32, t, 64, 128);
+                for (o, &v) in row.iter_mut().zip(&vals) {
+                    *o += v as f32;
+                }
+            }
+        })
+    });
+    group.bench_function("sparse_row_add", |b| {
+        let mut g: SparseGrid3<f32> = SparseGrid3::with_blocks(dims, BlockDims::DEFAULT);
+        b.iter(|| {
+            for t in 0..64 {
+                g.add_row_f64(32, t, 64, &vals);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_write_primitives);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation — distributed-memory STKDE (extension; the paper's conclusion
+//! names distributed machines as future work).
+//!
+//! For each instance and rank count, runs both exchange strategies on the
+//! in-process message-passing substrate, then prices the accounted traffic
+//! with a postal model (10G Ethernet and InfiniBand presets) and combines
+//! it with *work-modeled* per-rank compute (the rank's share of rasterized
+//! points times the measured sequential PB-SYM compute rate — measuring
+//! rank threads directly would be distorted by core oversubscription on a
+//! small host).
+//!
+//! Expected shape: DIST-POINT ships 24 B/point and wins whenever point
+//! replication stays low (large slabs or small `Ht`); DIST-HALO is
+//! work-efficient but ships `Gx·Gy·Ht` voxels per boundary, so it loses on
+//! fine decompositions of voxel-heavy grids and on slow networks —
+//! mirroring the paper's DD-vs-DR trade-off in distributed form.
+
+use stkde_bench::{prepare_instances, runner, HarnessOpts, Table};
+use stkde_core::distmem::{self, DistStrategy};
+use stkde_comm::{CommCost, ModeledRun};
+use stkde_kernels::Epanechnikov;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let prepared = prepare_instances(&opts);
+    let ranks_sweep = [2usize, 4, 8, 16];
+    println!("== Ablation: distributed-memory STKDE (modeled speedup over PB-SYM) ==");
+    println!("   (cells: 10GbE speedup | IB speedup | comm MB | repl factor)\n");
+
+    for strategy in [DistStrategy::PointExchange, DistStrategy::HaloExchange] {
+        println!("-- {strategy} --");
+        let mut headers: Vec<String> = vec!["Instance".into()];
+        for &r in &ranks_sweep {
+            headers.push(format!("P={r}"));
+        }
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&headers_ref);
+
+        for p in &prepared {
+            let seq = runner::measure_pb_sym(p);
+            let n = p.points.len().max(1);
+            let mut row = vec![p.name()];
+            for &ranks in &ranks_sweep {
+                if ranks > p.problem.domain.dims().gt {
+                    row.push("n/a".into());
+                    continue;
+                }
+                let r = distmem::run::<f32, _>(
+                    &p.problem,
+                    &Epanechnikov,
+                    &p.points,
+                    ranks,
+                    strategy,
+                )
+                .expect("valid rank count");
+                // Work-modeled compute: rank share of rasterized points
+                // times the sequential compute rate.
+                let compute: Vec<f64> = r
+                    .processed
+                    .iter()
+                    .map(|&c| seq.compute_secs() * c as f64 / n as f64)
+                    .collect();
+                let eth = ModeledRun::price(compute.clone(), &r.stats, CommCost::ETHERNET_10G);
+                let ib = ModeledRun::price(compute, &r.stats, CommCost::INFINIBAND);
+                row.push(format!(
+                    "{:.1}|{:.1}|{:.1}|{:.2}",
+                    eth.speedup(seq.compute_secs()),
+                    ib.speedup(seq.compute_secs()),
+                    r.total_bytes() as f64 / 1e6,
+                    r.replication_factor(n),
+                ));
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+    println!("Expected shape: near-linear IB speedups while compute dominates;");
+    println!("10GbE erodes DIST-HALO first (voxel-sized halos); DIST-POINT's");
+    println!("replication factor grows as slabs shrink toward 2·Ht (cf. Fig. 9).");
+}

@@ -1,0 +1,57 @@
+//! Ablation — dense vs block-sparse grid backend (extension).
+//!
+//! Figure 7 shows initialization dominating the sparse instances; §6.3
+//! shows that phase refuses to parallelize (≈3× on 16 threads). The
+//! sparse backend (`stkde_core::sparse`) removes the `Θ(G)` term instead:
+//! this harness runs dense `PB-SYM` and sparse `PB-SYM` on every catalog
+//! instance and reports total/init time, the sparse block occupancy, and
+//! the memory footprints.
+//!
+//! Expected shape: the sparse backend wins exactly on the instances whose
+//! Figure 7 bar is mostly Initialization (Flu, high-resolution PollenUS)
+//! and loses slightly where compute dominates and occupancy approaches 1
+//! (Dengue Hb, eBird) — the block-table indirection is pure overhead once
+//! every block is allocated anyway.
+
+use stkde_bench::{prepare_instances, runner, time_best, HarnessOpts, Table};
+use stkde_core::sparse;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let prepared = prepare_instances(&opts);
+    println!("== Ablation: dense vs block-sparse grid backend (PB-SYM) ==\n");
+
+    let mut table = Table::new(&[
+        "Instance",
+        "dense(s)",
+        "d-init(s)",
+        "sparse(s)",
+        "s-init(s)",
+        "speedup",
+        "occup",
+        "dense MB",
+        "sparse MB",
+    ]);
+
+    for p in &prepared {
+        let dense = runner::measure_pb_sym(p);
+        let (sparse_t, grid) = time_best(opts.reps, || {
+            sparse::run::<f32, _>(&p.problem, &stkde_kernels::Epanechnikov, &p.points)
+        });
+        let (grid, timings) = grid;
+        table.row(vec![
+            p.name(),
+            format!("{:.3}", dense.total),
+            format!("{:.3}", dense.init_secs()),
+            format!("{sparse_t:.3}"),
+            format!("{:.3}", timings.init.as_secs_f64()),
+            format!("{:.2}", dense.total / sparse_t.max(1e-9)),
+            format!("{:.3}", grid.occupancy()),
+            format!("{:.1}", p.problem.domain.dims().bytes::<f32>() as f64 / 1e6),
+            format!("{:.1}", grid.allocated_bytes() as f64 / 1e6),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: speedup >> 1 and occupancy << 1 on init-dominated");
+    println!("instances (Flu, PollenUS VHr); speedup <= 1 where occupancy ~ 1.");
+}

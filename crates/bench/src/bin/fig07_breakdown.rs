@@ -1,0 +1,32 @@
+//! Figure 7 — breakdown of the PB-SYM runtime into initialization and
+//! compute.
+//!
+//! The paper's stacked bars show that sparse instances (all of Flu) are
+//! dominated by memory initialization while compute-heavy instances
+//! (PollenUS, eBird) are dominated by kernel work — the single fact that
+//! decides which parallel strategy wins later.
+
+use stkde_bench::{prepare_instances, runner, HarnessOpts, Table};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("== Figure 7: PB-SYM runtime breakdown (fractions of total) ==\n");
+    let mut t = Table::new(&["Instance", "init(s)", "compute(s)", "init%", "bar"]);
+    for p in prepare_instances(&opts) {
+        let r = runner::measure_pb_sym(&p);
+        let init = r.init_secs();
+        let compute = r.compute_secs();
+        let frac = init / (init + compute).max(1e-12);
+        let bar_len = (frac * 40.0).round() as usize;
+        t.row(vec![
+            p.name(),
+            format!("{init:.3}"),
+            format!("{compute:.3}"),
+            format!("{:.1}", 100.0 * frac),
+            format!("{}{}", "I".repeat(bar_len), "c".repeat(40 - bar_len)),
+        ]);
+    }
+    t.print();
+    println!("\nExpected shape: Flu instances mostly 'I' (initialization-bound);");
+    println!("PollenUS Hb / eBird instances mostly 'c' (compute-bound), as in the paper.");
+}

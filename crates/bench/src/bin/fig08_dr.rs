@@ -1,0 +1,48 @@
+//! Figure 8 — speedup of PB-SYM-DR per thread count.
+//!
+//! Measured speedups for the real thread sweep, the paper's OOM behaviour
+//! under the machine memory budget, and a simulated 16-processor column
+//! built from the measured phase breakdown (see `stkde_bench::sim`).
+
+use stkde_bench::table::speedup;
+use stkde_bench::{prepare_instances, runner, sim, time_best, HarnessOpts, Table};
+use stkde_core::{Algorithm, StkdeError};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let prepared = prepare_instances(&opts);
+    println!("== Figure 8: PB-SYM-DR speedup by thread count ==\n");
+
+    let mut headers: Vec<String> = vec!["Instance".into()];
+    for &t in &opts.threads {
+        headers.push(format!("t={t}"));
+    }
+    headers.push(format!("sim-{}", opts.sim_threads));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&headers_ref);
+
+    for p in &prepared {
+        let points = runner::pointset(p);
+        let seq = runner::measure_pb_sym(p);
+        let mut row = vec![p.name()];
+        for &threads in &opts.threads {
+            let cell = {
+                let (t, outcome) = time_best(opts.reps, || {
+                    runner::measure(p, &points, Algorithm::PbSymDr, threads)
+                });
+                match outcome {
+                    Ok(_) => speedup(Some(seq.total / t)),
+                    Err(StkdeError::MemoryLimit { .. }) => "OOM".to_string(),
+                    Err(e) => format!("err:{e}"),
+                }
+            };
+            row.push(cell);
+        }
+        row.push(speedup(Some(sim::dr_speedup(&seq.timings, opts.sim_threads))));
+        table.row(row);
+    }
+    table.print();
+    println!("\nExpected shape (paper): speedup > 1 only where compute dominates");
+    println!("(PollenUS, low-res eBird); init-bound instances (Flu) get < 1; the");
+    println!("biggest sparse grids OOM when replicas exceed available memory.");
+}

@@ -1,0 +1,70 @@
+//! Figure 11 — speedup of the phased PB-SYM-PD, per decomposition.
+//!
+//! Decompositions below twice the bandwidth are adjusted (as the paper
+//! notes under Figure 11). The simulated column models the eight parity-
+//! class phases with barriers between them.
+
+use stkde_bench::runner::DECOMP_SWEEP;
+use stkde_bench::table::speedup;
+use stkde_bench::{prepare_instances, runner, sim, time_best, HarnessOpts, Table};
+use stkde_core::{parallel::pd, Algorithm};
+use stkde_data::binning;
+use stkde_grid::Decomp;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let prepared = prepare_instances(&opts);
+    let threads = opts.max_threads();
+    println!(
+        "== Figure 11: PB-SYM-PD speedup ({} real threads; sim-{} in parentheses) ==",
+        threads, opts.sim_threads
+    );
+    println!("   (decompositions adjusted to subdomains >= 2x bandwidth)\n");
+
+    let mut headers: Vec<String> = vec!["Instance".into()];
+    for &k in &DECOMP_SWEEP {
+        headers.push(format!("{k}^3"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&headers_ref);
+
+    for p in &prepared {
+        let points = runner::pointset(p);
+        let seq = runner::measure_pb_sym(p);
+        let box_vol = p.problem.vbw.cylinder_box_volume() as f64;
+        let mut row = vec![p.name()];
+        for &k in &DECOMP_SWEEP {
+            let decomp = Decomp::cubic(k);
+            let (t, _) = time_best(opts.reps, || {
+                runner::measure(p, &points, Algorithm::PbSymPd { decomp }, threads)
+                    .expect("PD run")
+            });
+            // Simulated phased execution: per-class task lists.
+            let eff = pd::effective_decomposition(&p.problem, decomp);
+            let bins = binning::bin_points(&p.problem.domain, &eff, &p.points);
+            let mut class_weights: Vec<Vec<f64>> = vec![Vec::new(); 8];
+            for id in eff.ids() {
+                let w = bins.points_of(id).len() as f64 * box_vol;
+                if w > 0.0 {
+                    class_weights[eff.parity_class(id)].push(w);
+                }
+            }
+            let total_w: f64 = class_weights.iter().flatten().sum();
+            let classes: Vec<Vec<f64>> = class_weights
+                .iter()
+                .map(|c| sim::weights_to_seconds(c, seq.compute_secs() * c.iter().sum::<f64>() / total_w.max(1e-30)))
+                .collect();
+            let s_sim = sim::pd_phased_speedup(seq.init_secs(), &classes, opts.sim_threads);
+            row.push(format!(
+                "{} ({})",
+                speedup(Some(seq.total / t)),
+                speedup(Some(s_sim))
+            ));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("\nExpected shape (paper): modest speedups that improve with finer");
+    println!("lattices but stay limited by phase barriers and load imbalance");
+    println!("(paper's best on PollenUS_Lr-Lb was only 2.6 at 16 threads).");
+}

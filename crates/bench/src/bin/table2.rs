@@ -1,0 +1,54 @@
+//! Table 2 — properties of the datasets/instances.
+//!
+//! Prints the paper's instance catalog (n, grid dimensions, memory size,
+//! voxel bandwidths), plus the scaled version the other harnesses run
+//! under the current options.
+
+use stkde_bench::{prepare_instances, HarnessOpts, Table};
+use stkde_data::full_catalog;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+
+    println!("== Table 2: properties of the datasets (paper-size) ==\n");
+    let mut t = Table::new(&["Instance", "n", "Gx x Gy x Gt", "Size(MiB)", "Hs", "Ht"]);
+    for inst in full_catalog() {
+        if opts
+            .filter
+            .as_deref()
+            .is_some_and(|f| !inst.name().contains(f))
+        {
+            continue;
+        }
+        t.row(vec![
+            inst.name(),
+            inst.params.n.to_string(),
+            inst.params.dims.to_string(),
+            format!("{:.0}", inst.grid_mib()),
+            inst.params.hs.to_string(),
+            inst.params.ht.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n== Scaled instances used by this harness run ==\n");
+    let mut t = Table::new(&[
+        "Instance",
+        "scale",
+        "n'",
+        "G'",
+        "Size'(MiB)",
+        "updates(G)",
+    ]);
+    for p in prepare_instances(&opts) {
+        t.row(vec![
+            p.name(),
+            format!("{:.4}", p.instance.scale),
+            p.points.len().to_string(),
+            p.instance.params.dims.to_string(),
+            format!("{:.1}", p.instance.grid_mib()),
+            format!("{:.2}", p.instance.compute_cost() / 1e9),
+        ]);
+    }
+    t.print();
+}

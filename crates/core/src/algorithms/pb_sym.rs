@@ -1,0 +1,71 @@
+//! `PB-SYM` — point-based with both invariants hoisted (paper Algorithm 3).
+//!
+//! The paper's best sequential algorithm: per point, compute the spatial
+//! disk `Ks[X][Y]` and temporal bar `Kt[T]` once each, then fill the
+//! cylinder with the outer product `Ks[X][Y] · Kt[T]` — a pure multiply-add
+//! over stride-1 rows. Same `Θ(Gx·Gy·Gt + n·Hs²·Ht)` complexity as `PB`,
+//! but up to ~7× fewer flops (Table 3: speedup 6.97 on PollenUS Hr-Hb).
+//!
+//! This exploitation of separability is impossible for voxel-based
+//! algorithms, and is the foundation every parallel variant builds on.
+
+use crate::kernel_apply::PointKernel;
+use crate::problem::Problem;
+use crate::timing::PhaseTimings;
+use stkde_data::Point;
+use stkde_grid::{Grid3, Scalar};
+use stkde_kernels::SpaceTimeKernel;
+
+/// Run `PB-SYM`.
+pub fn run<S: Scalar, K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+) -> (Grid3<S>, PhaseTimings) {
+    super::pb::run_with(PointKernel::Sym, problem, kernel, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkde_data::synth;
+    use stkde_grid::{Bandwidth, Domain, GridDims};
+    use stkde_kernels::{Epanechnikov, Quartic};
+
+    #[test]
+    fn matches_pb() {
+        let domain = Domain::from_dims(GridDims::new(16, 12, 8));
+        let problem = Problem::new(domain, Bandwidth::new(3.0, 2.0), 25);
+        let points = synth::uniform(25, domain.extent(), 6).into_vec();
+        let (sym, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        let (pb, _) = super::super::pb::run::<f64, _>(&problem, &Epanechnikov, &points);
+        assert!(pb.max_rel_diff(&sym, 1e-14) < 1e-10);
+    }
+
+    #[test]
+    fn works_with_f32_grids() {
+        // Paper parity: 4-byte voxels (Table 2 sizes are at 4 B/voxel).
+        let domain = Domain::from_dims(GridDims::new(16, 12, 8));
+        let problem = Problem::new(domain, Bandwidth::new(3.0, 2.0), 10);
+        let points = synth::uniform(10, domain.extent(), 7).into_vec();
+        let (g32, _) = run::<f32, _>(&problem, &Epanechnikov, &points);
+        let (g64, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        let diff = g64
+            .as_slice()
+            .iter()
+            .zip(g32.as_slice())
+            .map(|(&a, &b)| (a - b as f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-6, "f32 deviates too much: {diff}");
+    }
+
+    #[test]
+    fn separable_extension_kernel_works() {
+        let domain = Domain::from_dims(GridDims::new(12, 12, 6));
+        let problem = Problem::new(domain, Bandwidth::new(2.0, 1.0), 5);
+        let points = synth::uniform(5, domain.extent(), 8).into_vec();
+        let (sym, _) = run::<f64, _>(&problem, &Quartic, &points);
+        let (vb, _) = super::super::vb::run::<f64, _>(&problem, &Quartic, &points);
+        assert!(vb.max_rel_diff(&sym, 1e-14) < 1e-10);
+    }
+}

@@ -1,0 +1,124 @@
+//! `DIST-HALO`: compute full cylinders locally, ship ghost layers.
+//!
+//! The distributed analogue of `PB-SYM-DR` (paper §4.1): scattered points
+//! are first routed *home* (one copy each, to the rank owning their center
+//! layer), then every rank rasterizes its points' *entire* cylinders — no
+//! cut invariants, work-efficient — into a slab extended by `Ht` ghost
+//! layers on each side. The ghost layers are then sent to the ranks that
+//! own them and added in. Overhead is halo memory (`2·Ht·Gx·Gy` voxels
+//! per rank) and voxel-sized messages, the distributed echo of DR's
+//! replica-reduction cost.
+
+use super::apply::{apply_point_slab, SlabScratch};
+use super::slab::{owner_of, owners_of_layers, slab_bounds, slab_range};
+use super::{gather_slabs, DistMsg, RankOutput, TAG_HALO, TAG_POINTS};
+use crate::problem::Problem;
+use stkde_comm::Comm;
+use stkde_data::Point;
+use stkde_grid::{Grid3, GridDims, Scalar, VoxelRange};
+use stkde_kernels::SpaceTimeKernel;
+
+pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
+    comm: &mut Comm<DistMsg<S>>,
+    problem: &Problem,
+    kernel: &K,
+    local: Vec<Point>,
+) -> RankOutput<S> {
+    let dims = problem.domain.dims();
+    let size = comm.size();
+    let rank = comm.rank();
+    let ht = problem.vbw.ht;
+    let layer = dims.gx * dims.gy;
+
+    // Phase 0 — home routing: send each scattered point to the one rank
+    // whose slab contains its center layer, so every cylinder fits that
+    // rank's extended slab. One copy per point — work-efficient, unlike
+    // the point-exchange strategy's replication.
+    let mut outgoing: Vec<Vec<Point>> = vec![Vec::new(); size];
+    for p in &local {
+        let (_, _, tv) = problem.domain.voxel_of(p.as_array());
+        outgoing[owner_of(dims.gt, size, tv)].push(*p);
+    }
+    for (to, batch) in outgoing.into_iter().enumerate() {
+        comm.send(to, TAG_POINTS, DistMsg::Points(batch));
+    }
+    let mut local = Vec::new();
+    for from in 0..size {
+        match comm.recv(from, TAG_POINTS) {
+            DistMsg::Points(batch) => local.extend(batch),
+            DistMsg::Layers { .. } => unreachable!("layers during home routing"),
+        }
+    }
+
+    let slab = slab_range(dims, size, rank);
+    // The extended slab this rank's full cylinders can reach.
+    let ext_t0 = slab.t0.saturating_sub(ht);
+    let ext_t1 = (slab.t1 + ht).min(dims.gt);
+    let mut ext: Grid3<S> = Grid3::zeros(GridDims::new(dims.gx, dims.gy, ext_t1 - ext_t0));
+    let clip = VoxelRange {
+        t0: ext_t0,
+        t1: ext_t1,
+        ..VoxelRange::full(dims)
+    };
+
+    // Phase 1 — full (unclipped within the extended slab) cylinders of the
+    // rank's own points. Work-efficient: every invariant computed once.
+    let mut scratch = SlabScratch::default();
+    let start = std::time::Instant::now();
+    for p in &local {
+        apply_point_slab(&mut ext, ext_t0, problem, kernel, p, clip, &mut scratch);
+    }
+    let compute_secs = start.elapsed().as_secs_f64();
+
+    // Phase 2 — ship each ghost region to its owner.
+    for r in owners_of_layers(dims.gt, size, ext_t0, ext_t1) {
+        if r == rank {
+            continue;
+        }
+        let (rt0, rt1) = slab_bounds(dims.gt, size, r);
+        let lo = ext_t0.max(rt0);
+        let hi = ext_t1.min(rt1);
+        if lo >= hi {
+            continue;
+        }
+        let data = ext.as_slice()[(lo - ext_t0) * layer..(hi - ext_t0) * layer].to_vec();
+        comm.send(r, TAG_HALO, DistMsg::Layers { t0: lo, data });
+    }
+
+    // Phase 3 — receive every ghost region other ranks computed for us.
+    // The sender set is deterministic: rank r' sends iff its extended slab
+    // overlaps our slab (mirror of the send loop above).
+    let expected = (0..size)
+        .filter(|&r| r != rank)
+        .filter(|&r| {
+            let (rt0, rt1) = slab_bounds(dims.gt, size, r);
+            let e0 = rt0.saturating_sub(ht);
+            let e1 = (rt1 + ht).min(dims.gt);
+            e0.max(slab.t0) < e1.min(slab.t1)
+        })
+        .count();
+    for _ in 0..expected {
+        match comm.recv_any(TAG_HALO) {
+            (_, DistMsg::Layers { t0, data }) => {
+                debug_assert!(t0 >= slab.t0 && t0 * layer + data.len() <= slab.t1 * layer);
+                let dst = &mut ext.as_mut_slice()[(t0 - ext_t0) * layer..][..data.len()];
+                for (d, &s) in dst.iter_mut().zip(&data) {
+                    *d += s;
+                }
+            }
+            (from, DistMsg::Points(_)) => {
+                unreachable!("unexpected Points from rank {from} during halo exchange")
+            }
+        }
+    }
+
+    // Phase 4 — extract the owned slab and assemble on rank 0.
+    let own = ext.as_slice()[(slab.t0 - ext_t0) * layer..(slab.t1 - ext_t0) * layer].to_vec();
+    let own = Grid3::from_vec(GridDims::new(dims.gx, dims.gy, slab.t1 - slab.t0), own);
+    let grid = gather_slabs(comm, problem, slab.t0, own);
+    RankOutput {
+        grid,
+        compute_secs,
+        processed: local.len(),
+    }
+}

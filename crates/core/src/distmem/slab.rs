@@ -1,0 +1,154 @@
+//! Balanced T-axis slab partition of the voxel grid across ranks.
+//!
+//! The grid layout is T-outermost (`idx = (T·Gy + Y)·Gx + X`), so a run of
+//! full T-layers is contiguous memory — slabs along T make every exchange
+//! a single `memcpy`-shaped message and the final gather a concatenation.
+
+use stkde_grid::{GridDims, VoxelRange};
+
+/// Half-open layer interval `[t0, t1)` owned by rank `rank` out of `size`
+/// when splitting `gt` layers as evenly as possible (first `gt % size`
+/// ranks get one extra layer).
+pub fn slab_bounds(gt: usize, size: usize, rank: usize) -> (usize, usize) {
+    assert!(rank < size, "rank {rank} out of range (size {size})");
+    let q = gt / size;
+    let r = gt % size;
+    if rank < r {
+        (rank * (q + 1), (rank + 1) * (q + 1))
+    } else {
+        let base = r * (q + 1) + (rank - r) * q;
+        (base, base + q)
+    }
+}
+
+/// The rank owning layer `t` under [`slab_bounds`].
+pub fn owner_of(gt: usize, size: usize, t: usize) -> usize {
+    debug_assert!(t < gt, "layer {t} out of range (gt {gt})");
+    let q = gt / size;
+    let r = gt % size;
+    if t < r * (q + 1) {
+        t / (q + 1)
+    } else {
+        // q > 0 here: t >= r*(q+1) and t < gt forces q >= 1.
+        r + (t - r * (q + 1)) / q
+    }
+}
+
+/// Rank `rank`'s slab as a voxel range (full X/Y extent).
+pub fn slab_range(dims: GridDims, size: usize, rank: usize) -> VoxelRange {
+    let (t0, t1) = slab_bounds(dims.gt, size, rank);
+    VoxelRange {
+        x0: 0,
+        x1: dims.gx,
+        y0: 0,
+        y1: dims.gy,
+        t0,
+        t1,
+    }
+}
+
+/// The contiguous interval of ranks owning any layer in `[t0, t1)`
+/// (clipped to the grid); empty iff the interval is.
+pub fn owners_of_layers(gt: usize, size: usize, t0: usize, t1: usize) -> std::ops::Range<usize> {
+    let t1 = t1.min(gt);
+    if t0 >= t1 {
+        return 0..0;
+    }
+    owner_of(gt, size, t0)..owner_of(gt, size, t1 - 1) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn slabs_partition_exactly() {
+        for gt in [1usize, 2, 7, 16, 100] {
+            for size in 1..=gt {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for rank in 0..size {
+                    let (t0, t1) = slab_bounds(gt, size, rank);
+                    assert_eq!(t0, prev_end, "slabs must be contiguous");
+                    assert!(t1 >= t0);
+                    covered += t1 - t0;
+                    prev_end = t1;
+                }
+                assert_eq!(covered, gt, "gt={gt} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..5)
+            .map(|r| {
+                let (a, b) = slab_bounds(17, 5, r);
+                b - a
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 17);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn more_ranks_than_layers_gives_empty_slabs() {
+        // 3 layers over 5 ranks: ranks 3 and 4 own nothing.
+        let widths: Vec<usize> = (0..5)
+            .map(|r| {
+                let (a, b) = slab_bounds(3, 5, r);
+                b - a
+            })
+            .collect();
+        assert_eq!(widths, vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn owner_inverts_bounds() {
+        for gt in [1usize, 5, 16, 33] {
+            for size in [1usize, 2, 3, 7, 16] {
+                for t in 0..gt {
+                    let rank = owner_of(gt, size, t);
+                    let (t0, t1) = slab_bounds(gt, size, rank);
+                    assert!(t0 <= t && t < t1, "gt={gt} size={size} t={t} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owners_of_layers_is_contiguous_and_correct() {
+        let r = owners_of_layers(20, 4, 3, 12);
+        // Slabs of 5: [0,5) [5,10) [10,15) [15,20); layers 3..12 touch 0,1,2.
+        assert_eq!(r, 0..3);
+        assert_eq!(owners_of_layers(20, 4, 0, 20), 0..4);
+        assert_eq!(owners_of_layers(20, 4, 25, 30), 0..0, "clipped empty");
+        assert_eq!(owners_of_layers(20, 4, 7, 7), 0..0);
+    }
+
+    #[test]
+    fn slab_range_spans_full_xy() {
+        let dims = GridDims::new(8, 9, 10);
+        let r = slab_range(dims, 2, 1);
+        assert_eq!((r.x0, r.x1, r.y0, r.y1), (0, 8, 0, 9));
+        assert_eq!((r.t0, r.t1), (5, 10));
+    }
+
+    proptest! {
+        #[test]
+        fn partition_properties(gt in 1usize..400, size in 1usize..40) {
+            let mut total = 0;
+            for rank in 0..size {
+                let (t0, t1) = slab_bounds(gt, size, rank);
+                total += t1 - t0;
+                for t in t0..t1 {
+                    prop_assert_eq!(owner_of(gt, size, t), rank);
+                }
+            }
+            prop_assert_eq!(total, gt);
+        }
+    }
+}

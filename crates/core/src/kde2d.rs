@@ -1,0 +1,233 @@
+//! Classical 2-D spatial kernel density estimation — the baseline STKDE
+//! extends.
+//!
+//! §2.1 of the paper introduces STKDE as "a temporal extension of the
+//! traditional 2D kernel density estimation [Silverman 1986] which
+//! generates density surface ('heatmap')". This module provides that
+//! traditional estimator over the same substrates, for two reasons:
+//!
+//! * downstream users routinely want the plain heatmap next to the
+//!   space-time cube (the "collapse time" view of the same events);
+//! * it makes the paper's framing executable: the tests pin down the
+//!   exact relationship between the 2-D surface and the 3-D cube
+//!   (integrating the cube over time with a uniform temporal kernel
+//!   recovers the 2-D estimate).
+//!
+//! The estimator is
+//!
+//! ```text
+//! f̂(x, y) = 1/(n·hs²) · Σ_{i : di < hs} ks((x−xi)/hs, (y−yi)/hs)
+//! ```
+//!
+//! computed point-based with the hoisted disk invariant (the `PB-DISK`
+//! idea restricted to two dimensions). The result is returned as a
+//! `Gx×Gy×1` [`Grid3`] so every slice/statistics/export helper applies
+//! unchanged.
+
+use crate::problem::Problem;
+use stkde_data::Point;
+use stkde_grid::{Bandwidth, Domain, Grid3, GridDims, Scalar, VoxelRange};
+use stkde_kernels::SpaceTimeKernel;
+
+/// Compute the classical 2-D spatial KDE of `points` over the spatial
+/// extent of `domain`, with spatial bandwidth `hs` and the spatial factor
+/// of `kernel`.
+///
+/// Returns a `Gx×Gy×1` grid (time axis collapsed); the temporal
+/// coordinates of the events and the domain's temporal discretization are
+/// ignored.
+///
+/// ```
+/// use stkde_core::kde2d;
+/// use stkde_data::Point;
+/// use stkde_grid::{Domain, GridDims};
+/// use stkde_kernels::Epanechnikov;
+///
+/// let domain = Domain::from_dims(GridDims::new(32, 32, 8));
+/// let points = [Point::new(16.0, 16.0, 3.0)];
+/// let heat = kde2d::run::<f64, _>(&domain, 5.0, &Epanechnikov, &points);
+/// assert_eq!(heat.dims(), GridDims::new(32, 32, 1));
+/// assert!(heat.get(16, 16, 0) > 0.0);
+/// assert_eq!(heat.get(0, 0, 0), 0.0); // outside the bandwidth disk
+/// ```
+pub fn run<S: Scalar, K: SpaceTimeKernel>(
+    domain: &Domain,
+    hs: f64,
+    kernel: &K,
+    points: &[Point],
+) -> Grid3<S> {
+    let dims3 = domain.dims();
+    let dims = GridDims::new(dims3.gx, dims3.gy, 1);
+    let mut grid = Grid3::zeros(dims);
+    if points.is_empty() {
+        return grid;
+    }
+    // Reuse the 3-D geometry with the time axis neutralized: unit temporal
+    // bandwidth, and the 2-D normalization 1/(n·hs²).
+    let problem = Problem::new(*domain, Bandwidth::new(hs, 1.0), points.len());
+    let norm_2d = 1.0 / (points.len() as f64 * hs * hs);
+    let hs_vox = problem.vbw.hs;
+
+    for p in points {
+        let (px, py, _) = domain.voxel_of(p.as_array());
+        let r = VoxelRange {
+            x0: px.saturating_sub(hs_vox),
+            x1: (px + hs_vox + 1).min(dims.gx),
+            y0: py.saturating_sub(hs_vox),
+            y1: (py + hs_vox + 1).min(dims.gy),
+            t0: 0,
+            t1: 1,
+        };
+        for y in r.y0..r.y1 {
+            let cy = domain.voxel_center(0, y, 0)[1];
+            let row = grid.row_mut(y, 0, r.x0, r.x1);
+            for (i, out) in row.iter_mut().enumerate() {
+                let cx = domain.voxel_center(r.x0 + i, 0, 0)[0];
+                let (u, v) = problem.uv(cx, cy, p);
+                let ks = kernel.spatial(u, v);
+                if ks != 0.0 {
+                    *out += S::from_f64(ks * norm_2d);
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Collapse an STKDE cube to the 2-D surface by summing over time,
+/// weighted by the temporal voxel pitch: `Σ_T f̂(x, y, T) · tres`.
+///
+/// With a temporal kernel that integrates to one, this is the discrete
+/// marginalization of the space-time density onto the map plane and
+/// approximates [`run`]'s surface (tests pin the relationship).
+pub fn collapse_time<S: Scalar>(cube: &Grid3<S>, tres: f64) -> Grid3<S> {
+    let dims = cube.dims();
+    let flat = GridDims::new(dims.gx, dims.gy, 1);
+    let mut out = Grid3::zeros(flat);
+    for t in 0..dims.gt {
+        let slice = cube.time_slice(t);
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(slice) {
+            *o += S::from_f64(v.to_f64() * tres);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::pb_sym;
+    use stkde_data::synth;
+    use stkde_kernels::Epanechnikov;
+
+    fn domain() -> Domain {
+        Domain::from_dims(GridDims::new(40, 40, 20))
+    }
+
+    #[test]
+    fn matches_direct_definition() {
+        // Voxel-based reference: evaluate the 2-D estimator definition at
+        // every cell.
+        let domain = domain();
+        let points = synth::uniform(25, domain.extent(), 51).into_vec();
+        let hs = 6.0;
+        let fast = run::<f64, _>(&domain, hs, &Epanechnikov, &points);
+        let norm = 1.0 / (points.len() as f64 * hs * hs);
+        for y in 0..40 {
+            for x in 0..40 {
+                let c = domain.voxel_center(x, y, 0);
+                let expect: f64 = points
+                    .iter()
+                    .map(|p| Epanechnikov.spatial((c[0] - p.x) / hs, (c[1] - p.y) / hs) * norm)
+                    .sum();
+                let got = fast.get(x, y, 0);
+                assert!((got - expect).abs() < 1e-12, "({x},{y}): {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn surface_mass_is_approximately_one() {
+        // Fully interior kernel: the discrete surface integrates to ~1.
+        let domain = domain();
+        let points = [Point::new(20.0, 20.0, 10.0)];
+        let heat = run::<f64, _>(&domain, 8.0, &Epanechnikov, &points);
+        let mass: f64 = heat.as_slice().iter().sum(); // voxel area = 1
+        assert!((mass - 1.0).abs() < 0.05, "mass {mass}");
+    }
+
+    #[test]
+    fn collapsing_the_cube_recovers_the_surface() {
+        // ∫ f̂(x,y,t) dt ≈ f̂₂d(x,y) because ∫kt = 1: the executable form
+        // of "STKDE is a temporal extension of 2-D KDE" (§2.1).
+        let domain = domain();
+        let points = synth::uniform(30, domain.extent(), 52).into_vec();
+        let hs = 6.0;
+        // A temporal bandwidth small enough that no cylinder is clipped in
+        // time (events are uniform in [0,20); keep 3 < t < 17).
+        let interior: Vec<Point> = points
+            .iter()
+            .filter(|p| p.t > 3.0 && p.t < 17.0)
+            .copied()
+            .collect();
+        let problem = Problem::new(domain, Bandwidth::new(hs, 3.0), interior.len());
+        let (cube, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &interior);
+        let collapsed = collapse_time(&cube, 1.0);
+        let direct = run::<f64, _>(&domain, hs, &Epanechnikov, &interior);
+        // Discretization of the temporal integral costs a few percent.
+        let peak = direct.as_slice().iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(
+            collapsed.max_abs_diff(&direct) < 0.07 * peak,
+            "collapse diverges: {} vs peak {peak}",
+            collapsed.max_abs_diff(&direct)
+        );
+    }
+
+    #[test]
+    fn empty_points_zero_surface() {
+        let heat = run::<f64, _>(&domain(), 4.0, &Epanechnikov, &[]);
+        assert!(heat.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn boundary_points_are_clipped_not_dropped() {
+        let domain = domain();
+        let heat = run::<f64, _>(
+            &domain,
+            5.0,
+            &Epanechnikov,
+            &[Point::new(0.1, 0.1, 0.0)],
+        );
+        assert!(heat.get(0, 0, 0) > 0.0);
+        let mass: f64 = heat.as_slice().iter().sum();
+        assert!(mass < 1.0, "clipped kernel must lose mass: {mass}");
+        assert!(mass > 0.1);
+    }
+
+    #[test]
+    fn works_with_f32() {
+        let domain = domain();
+        let points = synth::uniform(10, domain.extent(), 53).into_vec();
+        let a = run::<f32, _>(&domain, 5.0, &Epanechnikov, &points);
+        let b = run::<f64, _>(&domain, 5.0, &Epanechnikov, &points);
+        let diff = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| (x as f64 - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-6);
+    }
+
+    #[test]
+    fn collapse_time_sums_layers() {
+        let mut cube: Grid3<f64> = Grid3::zeros(GridDims::new(2, 2, 3));
+        cube.add(0, 0, 0, 1.0);
+        cube.add(0, 0, 1, 2.0);
+        cube.add(1, 1, 2, 5.0);
+        let flat = collapse_time(&cube, 0.5);
+        assert_eq!(flat.get(0, 0, 0), 1.5); // (1+2)·0.5
+        assert_eq!(flat.get(1, 1, 0), 2.5);
+        assert_eq!(flat.get(0, 1, 0), 0.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! The per-point rasterization kernels shared by every point-based
+//! algorithm.
+//!
+//! Each function scatters one event's density cylinder into the grid,
+//! restricted to a clip range (the full grid for undecomposed algorithms,
+//! a subdomain for `PB-SYM-DD`). The four variants mirror the paper's §3:
+//!
+//! | function | spatial kernel evaluated | temporal kernel evaluated |
+//! |---|---|---|
+//! | [`apply_point_pb`]   | per voxel | per voxel |
+//! | [`apply_point_disk`] | once per (X, Y) | per voxel |
+//! | [`apply_point_bar`]  | per voxel | once per T |
+//! | [`apply_point_sym`]  | once per (X, Y) | once per T |
+//!
+//! All writes go through [`SharedGrid`]; the **safety contract** is that
+//! the caller holds exclusive access to the clipped cylinder region
+//! (single-threaded use, disjoint subdomains, or stencil-scheduled
+//! subdomains — see `stkde_grid::shared`). The safe entry points
+//! ([`apply_points_seq`]) wrap an exclusive `&mut Grid3`.
+
+use crate::problem::Problem;
+use stkde_data::Point;
+use stkde_grid::{Grid3, Scalar, SharedGrid, VoxelRange};
+use stkde_kernels::SpaceTimeKernel;
+
+/// Reusable per-worker scratch buffers for the kernel invariants
+/// (avoids a heap allocation per point).
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    disk: Vec<f64>,
+    bar: Vec<f64>,
+}
+
+/// Which §3 evaluation strategy to use for a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointKernel {
+    /// `PB`: evaluate both kernels at every voxel.
+    Plain,
+    /// `PB-DISK`: hoist the spatial invariant.
+    Disk,
+    /// `PB-BAR`: hoist the temporal invariant.
+    Bar,
+    /// `PB-SYM`: hoist both invariants.
+    Sym,
+}
+
+/// The clipped cylinder region a point writes to.
+#[inline]
+pub(crate) fn write_region(problem: &Problem, p: &Point, clip: VoxelRange) -> VoxelRange {
+    let v = problem.domain.voxel_of(p.as_array());
+    problem
+        .domain
+        .cylinder_range(v, problem.vbw)
+        .intersect(clip)
+}
+
+/// `PB` (Algorithm 2): test and evaluate both kernel factors per voxel.
+///
+/// # Safety
+/// The caller must hold exclusive access to `p`'s clipped cylinder region
+/// of `grid` (see module docs).
+pub unsafe fn apply_point_pb<S: Scalar, K: SpaceTimeKernel>(
+    grid: &SharedGrid<'_, S>,
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    clip: VoxelRange,
+) {
+    let r = write_region(problem, p, clip);
+    if r.is_empty() {
+        return;
+    }
+    let norm = problem.norm;
+    for t in r.t0..r.t1 {
+        let ct = problem.domain.voxel_center(0, 0, t)[2];
+        let w = problem.w(ct, p);
+        for y in r.y0..r.y1 {
+            let cy = problem.domain.voxel_center(0, y, 0)[1];
+            // SAFETY: forwarded from the caller contract.
+            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
+            for (i, out) in row.iter_mut().enumerate() {
+                let cx = problem.domain.voxel_center(r.x0 + i, 0, 0)[0];
+                let (u, v) = problem.uv(cx, cy, p);
+                // kernel.eval is zero outside the support, which is exactly
+                // the paper's `d < hs && |dt| <= ht` membership test.
+                let val = kernel.eval(u, v, w);
+                if val != 0.0 {
+                    *out += S::from_f64(val * norm);
+                }
+            }
+        }
+    }
+}
+
+/// `PB-DISK`: spatial invariant `Ks[X][Y]` computed once, temporal factor
+/// still evaluated per voxel.
+///
+/// # Safety
+/// Same contract as [`apply_point_pb`].
+pub unsafe fn apply_point_disk<S: Scalar, K: SpaceTimeKernel>(
+    grid: &SharedGrid<'_, S>,
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    clip: VoxelRange,
+    scratch: &mut Scratch,
+) {
+    let r = write_region(problem, p, clip);
+    if r.is_empty() {
+        return;
+    }
+    fill_disk(problem, kernel, p, r, &mut scratch.disk);
+    let width = r.width_x();
+    for t in r.t0..r.t1 {
+        let ct = problem.domain.voxel_center(0, 0, t)[2];
+        let w = problem.w(ct, p);
+        for (yi, y) in (r.y0..r.y1).enumerate() {
+            // SAFETY: forwarded from the caller contract.
+            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
+            let disk_row = &scratch.disk[yi * width..(yi + 1) * width];
+            for (out, &ks) in row.iter_mut().zip(disk_row) {
+                if ks != 0.0 {
+                    // Temporal factor evaluated per voxel — the cost PB-SYM
+                    // later removes.
+                    let val = ks * kernel.temporal(w);
+                    *out += S::from_f64(val);
+                }
+            }
+        }
+    }
+}
+
+/// `PB-BAR`: temporal invariant `Kt[T]` computed once, spatial factor still
+/// evaluated per voxel.
+///
+/// # Safety
+/// Same contract as [`apply_point_pb`].
+pub unsafe fn apply_point_bar<S: Scalar, K: SpaceTimeKernel>(
+    grid: &SharedGrid<'_, S>,
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    clip: VoxelRange,
+    scratch: &mut Scratch,
+) {
+    let r = write_region(problem, p, clip);
+    if r.is_empty() {
+        return;
+    }
+    fill_bar(problem, kernel, p, r, &mut scratch.bar);
+    let norm = problem.norm;
+    for (ti, t) in (r.t0..r.t1).enumerate() {
+        let kt = scratch.bar[ti];
+        if kt == 0.0 {
+            continue;
+        }
+        for y in r.y0..r.y1 {
+            let cy = problem.domain.voxel_center(0, y, 0)[1];
+            // SAFETY: forwarded from the caller contract.
+            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
+            for (i, out) in row.iter_mut().enumerate() {
+                let cx = problem.domain.voxel_center(r.x0 + i, 0, 0)[0];
+                let (u, v) = problem.uv(cx, cy, p);
+                let ks = kernel.spatial(u, v);
+                if ks != 0.0 {
+                    *out += S::from_f64(ks * kt * norm);
+                }
+            }
+        }
+    }
+}
+
+/// `PB-SYM` (Algorithm 3): both invariants hoisted; the triple loop is a
+/// pure outer product `stkde[X][Y][T] += Ks[X][Y] · Kt[T]`.
+///
+/// # Safety
+/// Same contract as [`apply_point_pb`].
+pub unsafe fn apply_point_sym<S: Scalar, K: SpaceTimeKernel>(
+    grid: &SharedGrid<'_, S>,
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    clip: VoxelRange,
+    scratch: &mut Scratch,
+) {
+    let r = write_region(problem, p, clip);
+    if r.is_empty() {
+        return;
+    }
+    fill_disk(problem, kernel, p, r, &mut scratch.disk);
+    fill_bar(problem, kernel, p, r, &mut scratch.bar);
+    let width = r.width_x();
+    for (ti, t) in (r.t0..r.t1).enumerate() {
+        let kt = scratch.bar[ti];
+        if kt == 0.0 {
+            continue;
+        }
+        for (yi, y) in (r.y0..r.y1).enumerate() {
+            // SAFETY: forwarded from the caller contract.
+            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
+            let disk_row = &scratch.disk[yi * width..(yi + 1) * width];
+            // Stride-1 fused multiply-add over the X row.
+            for (out, &ks) in row.iter_mut().zip(disk_row) {
+                *out += S::from_f64(ks * kt);
+            }
+        }
+    }
+}
+
+/// Dispatch one point through the chosen evaluation strategy.
+///
+/// # Safety
+/// Same contract as [`apply_point_pb`].
+pub unsafe fn apply_point<S: Scalar, K: SpaceTimeKernel>(
+    which: PointKernel,
+    grid: &SharedGrid<'_, S>,
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    clip: VoxelRange,
+    scratch: &mut Scratch,
+) {
+    // SAFETY: forwarded from the caller contract.
+    unsafe {
+        match which {
+            PointKernel::Plain => apply_point_pb(grid, problem, kernel, p, clip),
+            PointKernel::Disk => apply_point_disk(grid, problem, kernel, p, clip, scratch),
+            PointKernel::Bar => apply_point_bar(grid, problem, kernel, p, clip, scratch),
+            PointKernel::Sym => apply_point_sym(grid, problem, kernel, p, clip, scratch),
+        }
+    }
+}
+
+/// Safe sequential driver: scatter `points` into an exclusively borrowed
+/// grid using the chosen strategy, clipped to `clip`.
+pub fn apply_points_seq<S: Scalar, K: SpaceTimeKernel>(
+    which: PointKernel,
+    grid: &mut Grid3<S>,
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    clip: VoxelRange,
+) {
+    let shared = SharedGrid::new(grid);
+    let mut scratch = Scratch::default();
+    for p in points {
+        // SAFETY: `grid` is exclusively borrowed and this loop is the only
+        // writer — trivially race-free.
+        unsafe {
+            apply_point(which, &shared, problem, kernel, p, clip, &mut scratch);
+        }
+    }
+}
+
+/// The spatial invariant `Ks[X][Y] = ks(u, v) / (n·hs²·ht)` over the clip
+/// region (paper Algorithm 3, first block). The normalization is folded in
+/// here, as in the paper.
+pub(crate) fn fill_disk<K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    r: VoxelRange,
+    disk: &mut Vec<f64>,
+) {
+    disk.clear();
+    disk.reserve(r.width_x() * r.width_y());
+    let norm = problem.norm;
+    for y in r.y0..r.y1 {
+        let cy = problem.domain.voxel_center(0, y, 0)[1];
+        for x in r.x0..r.x1 {
+            let cx = problem.domain.voxel_center(x, 0, 0)[0];
+            let (u, v) = problem.uv(cx, cy, p);
+            disk.push(kernel.spatial(u, v) * norm);
+        }
+    }
+}
+
+/// The temporal invariant `Kt[T] = kt(w)` over the clip region
+/// (paper Algorithm 3, second block).
+pub(crate) fn fill_bar<K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    r: VoxelRange,
+    bar: &mut Vec<f64>,
+) {
+    bar.clear();
+    bar.reserve(r.width_t());
+    for t in r.t0..r.t1 {
+        let ct = problem.domain.voxel_center(0, 0, t)[2];
+        bar.push(kernel.temporal(problem.w(ct, p)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkde_grid::{Bandwidth, Domain, GridDims};
+    use stkde_kernels::Epanechnikov;
+
+    fn setup() -> (Problem, Vec<Point>) {
+        let domain = Domain::from_dims(GridDims::new(24, 24, 12));
+        let points = vec![
+            Point::new(12.0, 12.0, 6.0),
+            Point::new(2.0, 3.0, 1.0),  // near corner: tests clipping
+            Point::new(23.5, 23.5, 11.5), // at far corner
+        ];
+        (Problem::new(domain, Bandwidth::new(3.0, 2.0), points.len()), points)
+    }
+
+    fn run(which: PointKernel) -> Grid3<f64> {
+        let (problem, points) = setup();
+        let mut grid = Grid3::zeros(problem.domain.dims());
+        let clip = VoxelRange::full(problem.domain.dims());
+        apply_points_seq(which, &mut grid, &problem, &Epanechnikov, &points, clip);
+        grid
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let base = run(PointKernel::Plain);
+        for which in [PointKernel::Disk, PointKernel::Bar, PointKernel::Sym] {
+            let g = run(which);
+            assert!(
+                base.max_rel_diff(&g, 1e-14) < 1e-10,
+                "{which:?} diverges from PB"
+            );
+        }
+    }
+
+    #[test]
+    fn density_positive_near_point_zero_far() {
+        let g = run(PointKernel::Sym);
+        assert!(g.get(12, 12, 6) > 0.0);
+        assert!(g.get(12, 12, 0) == 0.0, "outside temporal bandwidth");
+        assert!(g.get(0, 12, 6) == 0.0, "outside spatial bandwidth");
+    }
+
+    #[test]
+    fn total_mass_close_to_one() {
+        // With a normalized kernel fully inside the grid, the discrete sum
+        // times the voxel volume approximates 1/n per point.
+        let domain = Domain::from_dims(GridDims::new(40, 40, 20));
+        let problem = Problem::new(domain, Bandwidth::new(6.0, 4.0), 1);
+        let points = vec![Point::new(20.0, 20.0, 10.0)];
+        let mut grid: Grid3<f64> = Grid3::zeros(domain.dims());
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut grid,
+            &problem,
+            &Epanechnikov,
+            &points,
+            VoxelRange::full(domain.dims()),
+        );
+        let mass: f64 = grid.as_slice().iter().sum();
+        assert!(
+            (mass - 1.0).abs() < 0.05,
+            "discrete mass {mass} should approximate 1"
+        );
+    }
+
+    #[test]
+    fn clipping_restricts_writes() {
+        let (problem, points) = setup();
+        let mut grid: Grid3<f64> = Grid3::zeros(problem.domain.dims());
+        let clip = VoxelRange {
+            x0: 0,
+            x1: 12,
+            y0: 0,
+            y1: 24,
+            t0: 0,
+            t1: 12,
+        };
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut grid,
+            &problem,
+            &Epanechnikov,
+            &points,
+            clip,
+        );
+        for (x, y, t) in grid.dims().iter() {
+            if !clip.contains(x, y, t) {
+                assert_eq!(grid.get(x, y, t), 0.0, "write outside clip at ({x},{y},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn split_clips_sum_to_whole() {
+        // Applying with two complementary clips equals one full application
+        // — the core correctness fact behind PB-SYM-DD.
+        let (problem, points) = setup();
+        let dims = problem.domain.dims();
+        let full = {
+            let mut g: Grid3<f64> = Grid3::zeros(dims);
+            apply_points_seq(
+                PointKernel::Sym,
+                &mut g,
+                &problem,
+                &Epanechnikov,
+                &points,
+                VoxelRange::full(dims),
+            );
+            g
+        };
+        let mut left: Grid3<f64> = Grid3::zeros(dims);
+        let mut clip_l = VoxelRange::full(dims);
+        clip_l.x1 = 13;
+        let mut clip_r = VoxelRange::full(dims);
+        clip_r.x0 = 13;
+        apply_points_seq(PointKernel::Sym, &mut left, &problem, &Epanechnikov, &points, clip_l);
+        apply_points_seq(PointKernel::Sym, &mut left, &problem, &Epanechnikov, &points, clip_r);
+        assert!(full.max_rel_diff(&left, 1e-14) < 1e-10);
+    }
+
+    #[test]
+    fn empty_clip_writes_nothing() {
+        let (problem, points) = setup();
+        let mut grid: Grid3<f64> = Grid3::zeros(problem.domain.dims());
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut grid,
+            &problem,
+            &Epanechnikov,
+            &points,
+            VoxelRange::empty(),
+        );
+        assert!(grid.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_points_is_noop() {
+        let (problem, _) = setup();
+        let mut grid: Grid3<f64> = Grid3::zeros(problem.domain.dims());
+        apply_points_seq(
+            PointKernel::Plain,
+            &mut grid,
+            &problem,
+            &Epanechnikov,
+            &[],
+            VoxelRange::full(problem.domain.dims()),
+        );
+        assert!(grid.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,340 @@
+//! Sparse-grid STKDE — an extension that removes the `Θ(G)`
+//! initialization term.
+//!
+//! Figure 7 of the paper shows that on sparse instances (Flu: 31K events
+//! over a world-spanning 20 GB grid) the runtime of `PB-SYM` is dominated
+//! by *initializing* the voxel grid, and §6.3 shows that this phase caps
+//! every parallel algorithm's speedup at ≈3 because zeroing memory does
+//! not parallelize. The paper attacks the symptom (parallel first-touch);
+//! this module removes the cause: density is accumulated into a
+//! [`SparseGrid3`] that allocates fixed-shape blocks only where cylinders
+//! actually land, so both memory and initialization cost scale with the
+//! *touched* volume `O(n·Hs²·Ht)` instead of the domain volume
+//! `Θ(Gx·Gy·Gt)`.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`run`] — sequential sparse `PB-SYM`;
+//! * [`run_dr`] — sparse domain replication: the DR strategy of §4.1
+//!   becomes viable on exactly the instances where dense DR fails (the
+//!   paper reports OOM on Flu Hr / eBird Hr), because each worker's
+//!   replica only materializes the blocks its own points touch, and the
+//!   reduction is proportional to touched blocks rather than `P·Θ(G)`.
+//!
+//! The trade-off is per-write block indirection, which loses on dense
+//! instances (eBird-style, where every block would be allocated anyway);
+//! the `ablation_sparse` harness and `benches/sparse.rs` quantify the
+//! crossover.
+
+use crate::kernel_apply::{fill_bar, fill_disk, write_region};
+use crate::parallel::{chunk_bounds, make_pool};
+use crate::problem::Problem;
+use crate::timing::{PhaseTimings, Stopwatch};
+use crate::StkdeError;
+use rayon::prelude::*;
+use stkde_data::Point;
+use stkde_grid::{BlockDims, Scalar, SparseGrid3, VoxelRange};
+use stkde_kernels::SpaceTimeKernel;
+
+/// Result of a sparse STKDE computation.
+#[derive(Debug, Clone)]
+pub struct SparseResult<S> {
+    /// The block-sparse density grid.
+    pub grid: SparseGrid3<S>,
+    /// Phase timing breakdown (`init` is the block-table setup).
+    pub timings: PhaseTimings,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl<S: Scalar> SparseResult<S> {
+    /// Fraction of the domain's blocks that were actually allocated —
+    /// the instance's *sparsity* as seen by this backend.
+    pub fn occupancy(&self) -> f64 {
+        self.grid.occupancy()
+    }
+}
+
+/// Scatter one point's cylinder into a sparse grid using the `PB-SYM`
+/// invariants, writing only the non-zero span of each disk row so block
+/// allocation tracks the cylinder (not its bounding box).
+fn apply_point_sparse<S: Scalar, K: SpaceTimeKernel>(
+    grid: &mut SparseGrid3<S>,
+    problem: &Problem,
+    kernel: &K,
+    p: &Point,
+    scratch: &mut SparseScratch,
+) {
+    let r = write_region(problem, p, VoxelRange::full(problem.domain.dims()));
+    if r.is_empty() {
+        return;
+    }
+    fill_disk(problem, kernel, p, r, &mut scratch.disk);
+    fill_bar(problem, kernel, p, r, &mut scratch.bar);
+    let width = r.x1 - r.x0;
+    let rows = r.y1 - r.y0;
+
+    // Non-zero [start, end) span of each disk row. A row of a disk is an
+    // interval, so trimming zero prefix/suffix recovers the exact support.
+    scratch.spans.clear();
+    for yi in 0..rows {
+        let row = &scratch.disk[yi * width..(yi + 1) * width];
+        let start = row.iter().position(|&v| v != 0.0);
+        match start {
+            None => scratch.spans.push((0, 0)),
+            Some(s) => {
+                let e = width - row.iter().rev().position(|&v| v != 0.0).expect("non-empty");
+                scratch.spans.push((s, e));
+            }
+        }
+    }
+
+    for (ti, t) in (r.t0..r.t1).enumerate() {
+        let kt = scratch.bar[ti];
+        if kt == 0.0 {
+            continue;
+        }
+        for (yi, y) in (r.y0..r.y1).enumerate() {
+            let (s, e) = scratch.spans[yi];
+            if s == e {
+                continue;
+            }
+            let disk_row = &scratch.disk[yi * width + s..yi * width + e];
+            scratch.row.clear();
+            scratch.row.extend(disk_row.iter().map(|&ks| ks * kt));
+            grid.add_row_f64(y, t, r.x0 + s, &scratch.row);
+        }
+    }
+}
+
+/// Per-worker scratch for the sparse kernel (disk/bar invariants, row
+/// product buffer, per-row support spans).
+#[derive(Debug, Default, Clone)]
+struct SparseScratch {
+    disk: Vec<f64>,
+    bar: Vec<f64>,
+    row: Vec<f64>,
+    spans: Vec<(usize, usize)>,
+}
+
+/// Sequential sparse `PB-SYM` with the default block shape.
+pub fn run<S: Scalar, K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+) -> (SparseGrid3<S>, PhaseTimings) {
+    run_with_blocks(problem, kernel, points, BlockDims::DEFAULT)
+}
+
+/// Sequential sparse `PB-SYM` with an explicit block shape.
+pub fn run_with_blocks<S: Scalar, K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    blocks: BlockDims,
+) -> (SparseGrid3<S>, PhaseTimings) {
+    let mut sw = Stopwatch::start();
+    let mut grid = SparseGrid3::with_blocks(problem.domain.dims(), blocks);
+    let init = sw.lap();
+    let mut scratch = SparseScratch::default();
+    for p in points {
+        apply_point_sparse(&mut grid, problem, kernel, p, &mut scratch);
+    }
+    let compute = sw.lap();
+    (
+        grid,
+        PhaseTimings {
+            init,
+            compute,
+            ..Default::default()
+        },
+    )
+}
+
+/// Sparse domain replication: each worker accumulates its chunk of the
+/// points into a private *sparse* replica; replicas are merged block-wise.
+///
+/// Unlike dense `PB-SYM-DR` (`Θ(P·G)` memory, OOM on the paper's Flu Hr and
+/// eBird Hr instances), the replicas here cost only what the worker's own
+/// points touch, so no memory guard is needed — worst case equals the dense
+/// footprint plus block-rounding.
+pub fn run_dr<S: Scalar, K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    threads: usize,
+    blocks: BlockDims,
+) -> Result<(SparseGrid3<S>, PhaseTimings), StkdeError> {
+    let pool = make_pool(threads)?;
+    let dims = problem.domain.dims();
+    pool.install(|| {
+        let mut sw = Stopwatch::start();
+        // Phase 1+2: per-worker sparse replicas (allocation happens lazily
+        // inside compute, so `init` is just the block tables).
+        let mut replicas: Vec<SparseGrid3<S>> = (0..threads)
+            .map(|_| SparseGrid3::with_blocks(dims, blocks))
+            .collect();
+        let init = sw.lap();
+
+        replicas.par_iter_mut().enumerate().for_each(|(i, g)| {
+            let (s, e) = chunk_bounds(points.len(), threads, i);
+            let mut scratch = SparseScratch::default();
+            for p in &points[s..e] {
+                apply_point_sparse(g, problem, kernel, p, &mut scratch);
+            }
+        });
+        let compute = sw.lap();
+
+        // Phase 3: block-wise merge, cost ∝ allocated blocks only.
+        let mut iter = replicas.into_iter();
+        let mut acc = iter.next().expect("threads >= 1 checked by make_pool");
+        for r in iter {
+            acc.merge_from(&r);
+        }
+        let reduce = sw.lap();
+
+        Ok((
+            acc,
+            PhaseTimings {
+                init,
+                compute,
+                reduce,
+                ..Default::default()
+            },
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::pb_sym;
+    use stkde_data::synth;
+    use stkde_grid::{Bandwidth, Domain, GridDims};
+    use stkde_kernels::{Epanechnikov, Quartic};
+
+    fn setup(n: usize, seed: u64) -> (Problem, Vec<Point>) {
+        let domain = Domain::from_dims(GridDims::new(48, 40, 24));
+        let points = synth::uniform(n, domain.extent(), seed).into_vec();
+        (Problem::new(domain, Bandwidth::new(4.0, 3.0), n), points)
+    }
+
+    #[test]
+    fn sparse_matches_dense_pb_sym() {
+        let (problem, points) = setup(50, 11);
+        let (dense, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &points);
+        let (sparse, t) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        assert!(sparse.max_abs_diff_dense(&dense) < 1e-12);
+        assert!(t.compute >= t.init, "block-table init should be cheap");
+    }
+
+    #[test]
+    fn sparse_matches_dense_for_other_kernels() {
+        let (problem, points) = setup(25, 12);
+        let (dense, _) = pb_sym::run::<f64, _>(&problem, &Quartic, &points);
+        let (sparse, _) = run::<f64, _>(&problem, &Quartic, &points);
+        assert!(sparse.max_abs_diff_dense(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn single_point_touches_few_blocks() {
+        let domain = Domain::from_dims(GridDims::new(256, 256, 128));
+        let problem = Problem::new(domain, Bandwidth::new(3.0, 2.0), 1);
+        let points = [Point::new(128.0, 128.0, 64.0)];
+        let (sparse, _) =
+            run_with_blocks::<f32, _>(&problem, &Epanechnikov, &points, BlockDims::new(8, 8, 8));
+        // Cylinder bounding box is 7×7×5 voxels; at 8³ blocks it can touch
+        // at most 2×2×2 block corners.
+        assert!(sparse.allocated_blocks() <= 8, "{}", sparse.allocated_blocks());
+        assert!(sparse.occupancy() < 0.001);
+    }
+
+    #[test]
+    fn allocation_tracks_cylinder_not_bounding_box() {
+        // With 1³ blocks, allocated blocks == touched voxels; a disk's
+        // corner voxels (outside u²+v²<1) must not be allocated.
+        let domain = Domain::from_dims(GridDims::new(64, 64, 16));
+        let problem = Problem::new(domain, Bandwidth::new(8.0, 2.0), 1);
+        let points = [Point::new(32.0, 32.0, 8.0)];
+        let (sparse, _) =
+            run_with_blocks::<f64, _>(&problem, &Epanechnikov, &points, BlockDims::new(1, 1, 1));
+        let bounding_box = 17 * 17 * 5;
+        assert!(
+            sparse.allocated_blocks() < bounding_box,
+            "corners of the bounding box should be skipped: {} vs {}",
+            sparse.allocated_blocks(),
+            bounding_box
+        );
+    }
+
+    #[test]
+    fn dr_matches_sequential_sparse() {
+        let (problem, points) = setup(60, 13);
+        let (seq, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        for threads in [1, 2, 4] {
+            let (par, t) = run_dr::<f64, _>(
+                &problem,
+                &Epanechnikov,
+                &points,
+                threads,
+                BlockDims::DEFAULT,
+            )
+            .unwrap();
+            assert!(
+                par.max_abs_diff_dense(&seq.to_dense()) < 1e-12,
+                "threads={threads}"
+            );
+            if threads > 1 {
+                assert!(t.reduce.as_nanos() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dr_memory_is_bounded_by_touched_blocks() {
+        // Flu-like: few points, huge grid. Dense DR at 4 threads would need
+        // 4·G·8 bytes; sparse DR must stay far below one dense grid.
+        let domain = Domain::from_dims(GridDims::new(512, 512, 256));
+        let problem = Problem::new(domain, Bandwidth::new(2.0, 1.0), 8);
+        let points = synth::uniform(8, domain.extent(), 14).into_vec();
+        let (g, _) =
+            run_dr::<f64, _>(&problem, &Epanechnikov, &points, 4, BlockDims::DEFAULT).unwrap();
+        let dense_bytes = domain.dims().bytes::<f64>();
+        assert!(
+            g.allocated_bytes() < dense_bytes / 10,
+            "sparse {} vs dense {}",
+            g.allocated_bytes(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn empty_points_allocate_nothing() {
+        let (problem, _) = setup(0, 15);
+        let (g, _) = run::<f64, _>(&problem, &Epanechnikov, &[]);
+        assert_eq!(g.allocated_blocks(), 0);
+        assert_eq!(g.sum(), 0.0);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let (problem, points) = setup(4, 16);
+        assert!(run_dr::<f64, _>(
+            &problem,
+            &Epanechnikov,
+            &points,
+            0,
+            BlockDims::DEFAULT
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mass_conservation_matches_dense() {
+        let (problem, points) = setup(30, 17);
+        let (dense, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &points);
+        let (sparse, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        let dense_sum: f64 = dense.as_slice().iter().sum();
+        assert!((sparse.sum() - dense_sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Cross-algorithm validation helpers.
+
+use stkde_grid::{Grid3, Scalar};
+
+/// The outcome of comparing two grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Maximum absolute voxel difference.
+    pub max_abs: f64,
+    /// Maximum relative voxel difference (with absolute floor `atol`).
+    pub max_rel: f64,
+}
+
+/// Compare two grids; `atol` is the absolute floor below which differences
+/// are ignored in the relative metric.
+pub fn compare<S: Scalar>(a: &Grid3<S>, b: &Grid3<S>, atol: f64) -> Comparison {
+    Comparison {
+        max_abs: a.max_abs_diff(b),
+        max_rel: a.max_rel_diff(b, atol),
+    }
+}
+
+/// `true` if the grids agree within `rtol` (relative, with `atol` floor) —
+/// the acceptance criterion used by the integration tests and the
+/// benchmark harnesses' self-checks.
+pub fn grids_agree<S: Scalar>(a: &Grid3<S>, b: &Grid3<S>, rtol: f64, atol: f64) -> bool {
+    compare(a, b, atol).max_rel <= rtol
+}
+
+/// Suggested tolerances per scalar type: floating-point summation order
+/// differs across algorithms/thread counts, so exact equality is not
+/// expected.
+pub fn default_tolerance<S: Scalar>() -> (f64, f64) {
+    if std::mem::size_of::<S>() == 4 {
+        (1e-3, 1e-9) // f32: kernel sums of ~1e3 terms
+    } else {
+        (1e-9, 1e-14) // f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkde_grid::GridDims;
+
+    #[test]
+    fn identical_grids_agree() {
+        let mut a: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        a.add(1, 1, 1, 0.5);
+        let b = a.clone();
+        assert!(grids_agree(&a, &b, 1e-12, 1e-15));
+        let c = compare(&a, &b, 1e-15);
+        assert_eq!(c.max_abs, 0.0);
+    }
+
+    #[test]
+    fn detects_disagreement() {
+        let mut a: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        let mut b: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        a.add(0, 0, 0, 1.0);
+        b.add(0, 0, 0, 1.1);
+        assert!(!grids_agree(&a, &b, 1e-3, 1e-12));
+        assert!(grids_agree(&a, &b, 0.2, 1e-12));
+    }
+
+    #[test]
+    fn tolerance_depends_on_scalar() {
+        let (r32, _) = default_tolerance::<f32>();
+        let (r64, _) = default_tolerance::<f64>();
+        assert!(r32 > r64);
+    }
+}

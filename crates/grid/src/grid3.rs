@@ -1,0 +1,302 @@
+//! Dense 3-D voxel grid.
+
+use crate::dims::GridDims;
+use crate::range::VoxelRange;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// A dense 3-D grid of scalars with X-fastest flat layout
+/// (`idx = (T·Gy + Y)·Gx + X`).
+///
+/// This is the `stkde[X][Y][T]` array of the paper's pseudocode. The
+/// initialization cost `Θ(Gx·Gy·Gt)` that dominates sparse instances
+/// (Figure 7) is exactly the cost of [`Grid3::zeros`] /
+/// [`Grid3::zeros_parallel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3<S> {
+    dims: GridDims,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Grid3<S> {
+    /// Allocate and zero-initialize sequentially.
+    ///
+    /// Uses `vec![0; n]`, which lets the OS provide zeroed pages; the cost
+    /// is then paid at first touch.
+    pub fn zeros(dims: GridDims) -> Self {
+        Self {
+            dims,
+            data: vec![S::ZERO; dims.volume()],
+        }
+    }
+
+    /// Allocate and zero-initialize with an explicit sequential write
+    /// sweep (first touch happens here, not lazily at first use).
+    ///
+    /// This matches the paper's reference implementation, whose algorithms
+    /// all begin with `for all voxels: stkde[X][Y][T] = 0` — the `Θ(G)`
+    /// initialization term of the complexity analysis. [`Grid3::zeros`]
+    /// defers the touch to the OS and is preferable when the grid will be
+    /// densely written anyway; the STKDE algorithms use this constructor
+    /// so their measured init/compute split reflects the paper's.
+    pub fn zeros_touched(dims: GridDims) -> Self {
+        let n = dims.volume();
+        let mut data = Vec::with_capacity(n);
+        // SAFETY: S is a plain Copy scalar; every element of `0..n` is
+        // written exactly once below before the Vec is observable.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            data.set_len(n);
+        }
+        for v in data.iter_mut() {
+            *v = S::ZERO;
+        }
+        Self { dims, data }
+    }
+
+    /// Allocate and zero-initialize with a parallel first-touch sweep.
+    ///
+    /// The paper (§6.3) observes that memory initialization parallelizes
+    /// poorly (≈3× on 16 threads) because page faults serialize in the OS;
+    /// this constructor makes the first touch happen from multiple threads
+    /// so pages distribute across NUMA nodes and the sweep uses all memory
+    /// controllers.
+    pub fn zeros_parallel(dims: GridDims) -> Self {
+        let n = dims.volume();
+        let mut data = Vec::with_capacity(n);
+        // SAFETY: S is a plain Copy scalar; we fully overwrite `0..n` below
+        // before the Vec is observable, writing each chunk exactly once.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            data.set_len(n);
+        }
+        let chunk = (n / (rayon::current_num_threads() * 8)).max(4096);
+        data.par_chunks_mut(chunk).for_each(|c| {
+            for v in c {
+                *v = S::ZERO;
+            }
+        });
+        Self { dims, data }
+    }
+
+    /// Build a grid from existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != dims.volume()`.
+    pub fn from_vec(dims: GridDims, data: Vec<S>) -> Self {
+        assert_eq!(data.len(), dims.volume(), "data length must match dims");
+        Self { dims, data }
+    }
+
+    /// Grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Value at voxel `(x, y, t)`.
+    #[inline(always)]
+    pub fn get(&self, x: usize, y: usize, t: usize) -> S {
+        self.data[self.dims.idx(x, y, t)]
+    }
+
+    /// Mutable reference to voxel `(x, y, t)`.
+    #[inline(always)]
+    pub fn get_mut(&mut self, x: usize, y: usize, t: usize) -> &mut S {
+        let i = self.dims.idx(x, y, t);
+        &mut self.data[i]
+    }
+
+    /// Add `v` to voxel `(x, y, t)`.
+    #[inline(always)]
+    pub fn add(&mut self, x: usize, y: usize, t: usize, v: S) {
+        let i = self.dims.idx(x, y, t);
+        self.data[i] += v;
+    }
+
+    /// The full backing slice in layout order.
+    #[inline]
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// The full backing slice, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consume the grid, returning the backing vector.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// The contiguous X-row at fixed `(y, t)`, restricted to `x ∈ [x0, x1)`.
+    #[inline]
+    pub fn row(&self, y: usize, t: usize, x0: usize, x1: usize) -> &[S] {
+        let base = self.dims.idx(0, y, t);
+        &self.data[base + x0..base + x1]
+    }
+
+    /// The contiguous X-row at fixed `(y, t)`, mutable.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize, t: usize, x0: usize, x1: usize) -> &mut [S] {
+        let base = self.dims.idx(0, y, t);
+        &mut self.data[base + x0..base + x1]
+    }
+
+    /// The 2-D time slice at `t` as a contiguous slice of length `Gx·Gy`.
+    pub fn time_slice(&self, t: usize) -> &[S] {
+        let n = self.dims.gx * self.dims.gy;
+        &self.data[t * n..(t + 1) * n]
+    }
+
+    /// Reset every voxel to zero (reusing the allocation), in parallel.
+    pub fn clear_parallel(&mut self) {
+        let chunk = (self.data.len() / (rayon::current_num_threads() * 8)).max(4096);
+        self.data.par_chunks_mut(chunk).for_each(|c| {
+            for v in c {
+                *v = S::ZERO;
+            }
+        });
+    }
+
+    /// Sum of the values inside a voxel range.
+    pub fn sum_range(&self, r: VoxelRange) -> f64 {
+        let r = r.clipped(self.dims);
+        let mut acc = 0.0;
+        for t in r.t0..r.t1 {
+            for y in r.y0..r.y1 {
+                for &v in self.row(y, t, r.x0, r.x1) {
+                    acc += v.to_f64();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Maximum absolute difference against another grid of the same shape.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.dims, other.dims, "grid shapes must match");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum relative difference against another grid, with `atol`
+    /// absolute floor (differences below `atol` count as zero).
+    pub fn max_rel_diff(&self, other: &Self, atol: f64) -> f64 {
+        assert_eq!(self.dims, other.dims, "grid shapes must match");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let (a, b) = (a.to_f64(), b.to_f64());
+                let d = (a - b).abs();
+                if d <= atol {
+                    0.0
+                } else {
+                    d / a.abs().max(b.abs()).max(atol)
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get() {
+        let g: Grid3<f64> = Grid3::zeros(GridDims::new(3, 4, 5));
+        assert_eq!(g.dims().volume(), 60);
+        assert_eq!(g.get(2, 3, 4), 0.0);
+    }
+
+    #[test]
+    fn zeros_parallel_equals_zeros() {
+        let dims = GridDims::new(17, 13, 11);
+        let a: Grid3<f32> = Grid3::zeros(dims);
+        let b: Grid3<f32> = Grid3::zeros_parallel(dims);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_and_get_roundtrip() {
+        let mut g: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        g.add(1, 2, 3, 2.5);
+        g.add(1, 2, 3, 0.5);
+        assert_eq!(g.get(1, 2, 3), 3.0);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_is_contiguous_x() {
+        let mut g: Grid3<f64> = Grid3::zeros(GridDims::new(5, 3, 2));
+        for x in 0..5 {
+            g.add(x, 1, 1, x as f64);
+        }
+        assert_eq!(g.row(1, 1, 1, 4), &[1.0, 2.0, 3.0]);
+        g.row_mut(1, 1, 0, 5)[0] = 9.0;
+        assert_eq!(g.get(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn time_slice_has_expected_len_and_content() {
+        let mut g: Grid3<f32> = Grid3::zeros(GridDims::new(3, 2, 4));
+        g.add(2, 1, 3, 7.0);
+        let s = g.time_slice(3);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[3 + 2], 7.0);
+        assert!(g.time_slice(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clear_parallel_zeroes_everything() {
+        let mut g: Grid3<f64> = Grid3::zeros(GridDims::new(8, 8, 8));
+        g.add(3, 3, 3, 1.0);
+        g.clear_parallel();
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sum_range_counts_region_only() {
+        let mut g: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        g.add(0, 0, 0, 1.0);
+        g.add(3, 3, 3, 10.0);
+        let r = VoxelRange {
+            x0: 0,
+            x1: 2,
+            y0: 0,
+            y1: 2,
+            t0: 0,
+            t1: 2,
+        };
+        assert_eq!(g.sum_range(r), 1.0);
+        assert_eq!(g.sum_range(VoxelRange::full(g.dims())), 11.0);
+    }
+
+    #[test]
+    fn diffs() {
+        let dims = GridDims::new(2, 2, 2);
+        let mut a: Grid3<f64> = Grid3::zeros(dims);
+        let mut b: Grid3<f64> = Grid3::zeros(dims);
+        a.add(0, 0, 0, 1.0);
+        b.add(0, 0, 0, 1.5);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-12);
+        assert!(a.max_rel_diff(&b, 1e-12) > 0.3);
+        assert_eq!(a.max_rel_diff(&a.clone(), 1e-12), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Grid3::from_vec(GridDims::new(2, 2, 2), vec![0.0f64; 7]);
+    }
+}

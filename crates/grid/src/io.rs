@@ -1,0 +1,234 @@
+//! Simple grid exports: CSV time slices, PGM heatmaps, ASCII art.
+//!
+//! These back the visualization step of the pipeline (Figure 1 of the paper
+//! shows rendered density volumes; our examples render time slices).
+
+use crate::grid3::Grid3;
+use crate::scalar::Scalar;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write the time slice `t` as CSV (`Gy` rows of `Gx` comma-separated
+/// values, y increasing downwards).
+pub fn write_slice_csv<S: Scalar, W: Write>(grid: &Grid3<S>, t: usize, mut w: W) -> io::Result<()> {
+    let dims = grid.dims();
+    for y in 0..dims.gy {
+        let row = grid.row(y, t, 0, dims.gx);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",")?;
+            }
+            write!(w, "{}", v.to_f64())?;
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Write the time slice `t` as an 8-bit binary PGM image, scaled so that
+/// `max_value` maps to 255 (pass the global max for consistent scaling
+/// across slices).
+pub fn write_slice_pgm<S: Scalar>(
+    grid: &Grid3<S>,
+    t: usize,
+    max_value: f64,
+    path: &Path,
+) -> io::Result<()> {
+    let dims = grid.dims();
+    let mut buf = Vec::with_capacity(dims.gx * dims.gy + 64);
+    write!(buf, "P5\n{} {}\n255\n", dims.gx, dims.gy)?;
+    let scale = if max_value > 0.0 { 255.0 / max_value } else { 0.0 };
+    for y in 0..dims.gy {
+        for &v in grid.row(y, t, 0, dims.gx) {
+            let g = (v.to_f64() * scale).clamp(0.0, 255.0) as u8;
+            buf.push(g);
+        }
+    }
+    std::fs::write(path, buf)
+}
+
+/// Write the full density cube as a legacy-ASCII VTK `STRUCTURED_POINTS`
+/// dataset, loadable by ParaView/VisIt — the volume-rendering pipeline
+/// behind visualizations like the paper's Figure 1.
+///
+/// `origin` and `spacing` are the world coordinates of the first voxel
+/// center and the per-axis voxel pitch (`sres`, `sres`, `tres`); VTK treats
+/// the T axis as its Z axis, matching the grid's T-outermost layout, so the
+/// values can stream out in storage order.
+pub fn write_vtk<S: Scalar, W: Write>(
+    grid: &Grid3<S>,
+    origin: [f64; 3],
+    spacing: [f64; 3],
+    mut w: W,
+) -> io::Result<()> {
+    let dims = grid.dims();
+    write!(
+        w,
+        "# vtk DataFile Version 3.0\nstkde density\nASCII\nDATASET STRUCTURED_POINTS\n\
+         DIMENSIONS {} {} {}\nORIGIN {} {} {}\nSPACING {} {} {}\n\
+         POINT_DATA {}\nSCALARS density float 1\nLOOKUP_TABLE default\n",
+        dims.gx,
+        dims.gy,
+        dims.gt,
+        origin[0],
+        origin[1],
+        origin[2],
+        spacing[0],
+        spacing[1],
+        spacing[2],
+        dims.volume()
+    )?;
+    // X-fastest, then Y, then Z — exactly the grid's storage order.
+    for (i, v) in grid.as_slice().iter().enumerate() {
+        let sep = if (i + 1) % 9 == 0 { '\n' } else { ' ' };
+        write!(w, "{}{}", v.to_f64() as f32, sep)?;
+    }
+    w.write_all(b"\n")
+}
+
+/// Render the time slice `t` as ASCII art, downsampled to at most
+/// `max_cols × max_rows` characters. Darker characters = higher density.
+pub fn ascii_slice<S: Scalar>(grid: &Grid3<S>, t: usize, max_cols: usize, max_rows: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let dims = grid.dims();
+    let cols = dims.gx.min(max_cols.max(1));
+    let rows = dims.gy.min(max_rows.max(1));
+    // Downsample by max-pooling each character cell.
+    let mut cells = vec![0.0f64; cols * rows];
+    for y in 0..dims.gy {
+        let cy = y * rows / dims.gy;
+        for (x, v) in grid.row(y, t, 0, dims.gx).iter().enumerate() {
+            let cx = x * cols / dims.gx;
+            let c = &mut cells[cy * cols + cx];
+            *c = c.max(v.to_f64());
+        }
+    }
+    let max = cells.iter().cloned().fold(0.0, f64::max);
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = cells[r * cols + c];
+            let i = if max > 0.0 {
+                ((v / max) * (RAMP.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            out.push(RAMP[i.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::GridDims;
+
+    fn sample_grid() -> Grid3<f64> {
+        let mut g = Grid3::zeros(GridDims::new(4, 3, 2));
+        g.add(0, 0, 1, 1.0);
+        g.add(3, 2, 1, 2.0);
+        g
+    }
+
+    #[test]
+    fn csv_slice_has_rows_and_values() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        write_slice_csv(&g, 1, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "1,0,0,0");
+        assert_eq!(lines[2], "0,0,0,2");
+    }
+
+    #[test]
+    fn csv_zero_slice() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        write_slice_csv(&g, 0, &mut buf).unwrap();
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .all(|l| l == "0,0,0,0"));
+    }
+
+    #[test]
+    fn pgm_roundtrip_header_and_scale() {
+        let g = sample_grid();
+        let dir = std::env::temp_dir().join("stkde_grid_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slice.pgm");
+        write_slice_pgm(&g, 1, 2.0, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes
+            .windows(4)
+            .position(|w| w == b"255\n")
+            .map(|p| p + 4)
+            .unwrap();
+        assert!(bytes.starts_with(b"P5\n4 3\n255\n"));
+        let pixels = &bytes[header_end..];
+        assert_eq!(pixels.len(), 12);
+        assert_eq!(pixels[0], 127); // 1.0 / 2.0 * 255 rounded down
+        assert_eq!(pixels[11], 255); // 2.0 / 2.0
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ascii_slice_marks_hotspots() {
+        let g = sample_grid();
+        let art = ascii_slice(&g, 1, 10, 10);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('@'), "peak should map to densest glyph: {art}");
+    }
+
+    #[test]
+    fn ascii_slice_empty_is_blank() {
+        let g: Grid3<f32> = Grid3::zeros(GridDims::new(4, 4, 2));
+        let art = ascii_slice(&g, 0, 4, 4);
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn vtk_header_and_value_count() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        write_vtk(&g, [0.5, 0.5, 0.25], [1.0, 1.0, 0.5], &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("# vtk DataFile Version 3.0\n"));
+        assert!(s.contains("DIMENSIONS 4 3 2"));
+        assert!(s.contains("ORIGIN 0.5 0.5 0.25"));
+        assert!(s.contains("SPACING 1 1 0.5"));
+        assert!(s.contains("POINT_DATA 24"));
+        let data = s.split("LOOKUP_TABLE default\n").nth(1).unwrap();
+        let values: Vec<f32> = data.split_whitespace().map(|v| v.parse().unwrap()).collect();
+        assert_eq!(values.len(), 24);
+        // Storage order: (0,0,1) is index 12, (3,2,1) is index 23.
+        assert_eq!(values[12], 1.0);
+        assert_eq!(values[23], 2.0);
+        assert_eq!(values.iter().filter(|&&v| v != 0.0).count(), 2);
+    }
+
+    #[test]
+    fn vtk_of_empty_grid_is_all_zero() {
+        let g: Grid3<f32> = Grid3::zeros(GridDims::new(2, 2, 2));
+        let mut buf = Vec::new();
+        write_vtk(&g, [0.0; 3], [1.0; 3], &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let data = s.split("LOOKUP_TABLE default\n").nth(1).unwrap();
+        assert!(data.split_whitespace().all(|v| v == "0"));
+    }
+
+    #[test]
+    fn ascii_slice_downsamples() {
+        let mut g: Grid3<f64> = Grid3::zeros(GridDims::new(100, 80, 1));
+        g.add(99, 79, 0, 1.0);
+        let art = ascii_slice(&g, 0, 20, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 20));
+        assert!(lines[9].ends_with('@'));
+    }
+}

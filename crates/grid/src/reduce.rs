@@ -1,0 +1,173 @@
+//! Parallel reduction of replicated grids.
+//!
+//! `PB-SYM-DR` (§4.1 of the paper) gives each of the `P` threads a private
+//! copy of the grid and sums the copies at the end. The summation is itself
+//! pleasingly parallel: each thread reduces a disjoint chunk of the flat
+//! arrays.
+
+use crate::grid3::Grid3;
+use crate::range::VoxelRange;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Sum `parts` element-wise into `target` (parallel over flat chunks).
+///
+/// # Panics
+/// Panics if any part has different dimensions from `target`.
+pub fn reduce_into<S: Scalar>(target: &mut Grid3<S>, parts: &[Grid3<S>]) {
+    for p in parts {
+        assert_eq!(p.dims(), target.dims(), "replica dims must match target");
+    }
+    let n = target.as_slice().len();
+    let chunk = (n / (rayon::current_num_threads() * 8)).max(4096);
+    let slices: Vec<&[S]> = parts.iter().map(|p| p.as_slice()).collect();
+    target
+        .as_mut_slice()
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, out)| {
+            let base = ci * chunk;
+            for part in &slices {
+                let src = &part[base..base + out.len()];
+                for (o, &s) in out.iter_mut().zip(src) {
+                    *o += s;
+                }
+            }
+        });
+}
+
+/// Consume `parts` and return their element-wise sum, reusing the first
+/// part's allocation.
+///
+/// # Panics
+/// Panics if `parts` is empty or shapes differ.
+pub fn reduce<S: Scalar>(mut parts: Vec<Grid3<S>>) -> Grid3<S> {
+    assert!(!parts.is_empty(), "cannot reduce zero grids");
+    let mut target = parts.swap_remove(0);
+    reduce_into(&mut target, &parts);
+    target
+}
+
+/// Add the contents of `src`, interpreted as the sub-box `region` of the
+/// target's index space, into `target`.
+///
+/// `src` must have dimensions equal to the region's widths. Used by
+/// `PB-SYM-PD-REP` to merge a replicated subdomain buffer (a private
+/// bounding-box accumulation grid) back into the global grid.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or the region exceeds the target.
+pub fn add_region<S: Scalar>(target: &mut Grid3<S>, region: VoxelRange, src: &Grid3<S>) {
+    let dims = target.dims();
+    assert!(
+        VoxelRange::full(dims).contains_range(&region),
+        "region {region} out of target bounds"
+    );
+    assert_eq!(src.dims().gx, region.width_x(), "src width mismatch");
+    assert_eq!(src.dims().gy, region.width_y(), "src height mismatch");
+    assert_eq!(src.dims().gt, region.width_t(), "src depth mismatch");
+    for (st, t) in (region.t0..region.t1).enumerate() {
+        for (sy, y) in (region.y0..region.y1).enumerate() {
+            let dst = target.row_mut(y, t, region.x0, region.x1);
+            let s = src.row(sy, st, 0, region.width_x());
+            for (d, &v) in dst.iter_mut().zip(s) {
+                *d += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::GridDims;
+
+    #[test]
+    fn reduce_sums_replicas() {
+        let dims = GridDims::new(5, 5, 5);
+        let mut parts: Vec<Grid3<f64>> = (0..4).map(|_| Grid3::zeros(dims)).collect();
+        for (i, p) in parts.iter_mut().enumerate() {
+            p.add(1, 2, 3, (i + 1) as f64);
+        }
+        let total = reduce(parts);
+        assert_eq!(total.get(1, 2, 3), 1.0 + 2.0 + 3.0 + 4.0);
+        assert_eq!(total.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn reduce_into_adds_on_top() {
+        let dims = GridDims::new(3, 3, 3);
+        let mut target: Grid3<f32> = Grid3::zeros(dims);
+        target.add(0, 0, 0, 5.0);
+        let mut part: Grid3<f32> = Grid3::zeros(dims);
+        part.add(0, 0, 0, 2.0);
+        reduce_into(&mut target, &[part]);
+        assert_eq!(target.get(0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn reduce_single_is_identity() {
+        let dims = GridDims::new(2, 2, 2);
+        let mut g: Grid3<f64> = Grid3::zeros(dims);
+        g.add(1, 1, 1, 42.0);
+        let r = reduce(vec![g.clone()]);
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reduce zero grids")]
+    fn reduce_empty_panics() {
+        let _: Grid3<f64> = reduce(vec![]);
+    }
+
+    #[test]
+    fn reduce_large_parallel_path() {
+        // Large enough to hit multiple parallel chunks.
+        let dims = GridDims::new(64, 64, 8);
+        let mut parts: Vec<Grid3<f32>> = (0..3).map(|_| Grid3::zeros(dims)).collect();
+        for p in parts.iter_mut() {
+            for v in p.as_mut_slice() {
+                *v = 1.0;
+            }
+        }
+        let total = reduce(parts);
+        assert!(total.as_slice().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn add_region_places_sub_box() {
+        let dims = GridDims::new(6, 6, 6);
+        let mut target: Grid3<f64> = Grid3::zeros(dims);
+        let region = VoxelRange {
+            x0: 1,
+            x1: 4,
+            y0: 2,
+            y1: 4,
+            t0: 3,
+            t1: 5,
+        };
+        let mut src: Grid3<f64> = Grid3::zeros(GridDims::new(3, 2, 2));
+        src.add(0, 0, 0, 1.0); // maps to (1, 2, 3)
+        src.add(2, 1, 1, 2.0); // maps to (3, 3, 4)
+        add_region(&mut target, region, &src);
+        assert_eq!(target.get(1, 2, 3), 1.0);
+        assert_eq!(target.get(3, 3, 4), 2.0);
+        assert_eq!(target.sum_range(VoxelRange::full(dims)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "src width mismatch")]
+    fn add_region_shape_mismatch_panics() {
+        let mut target: Grid3<f64> = Grid3::zeros(GridDims::new(6, 6, 6));
+        let region = VoxelRange {
+            x0: 0,
+            x1: 3,
+            y0: 0,
+            y1: 2,
+            t0: 0,
+            t1: 2,
+        };
+        let src: Grid3<f64> = Grid3::zeros(GridDims::new(2, 2, 2));
+        add_region(&mut target, region, &src);
+    }
+}

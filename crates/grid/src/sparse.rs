@@ -1,0 +1,575 @@
+//! Block-sparse 3-D voxel grid.
+//!
+//! The paper's complexity analysis (§3.1) splits the point-based algorithms
+//! into an initialization term `Θ(Gx·Gy·Gt)` and a compute term
+//! `Θ(n·Hs²·Ht)`, and Figure 7 shows the initialization term *dominating*
+//! the sparse instances (Flu: 31K points spread over a 20 GB world grid).
+//! §6.3 further observes that zeroing memory parallelizes poorly (≈3× on 16
+//! threads), capping every parallel algorithm's speedup on those instances.
+//!
+//! [`SparseGrid3`] removes the `Θ(G)` term instead of parallelizing it: the
+//! grid is divided into fixed-shape blocks and a block is allocated (and
+//! zeroed) only when a density cylinder first touches it. Initialization
+//! becomes `Θ(G/B)` table setup, and total memory is proportional to the
+//! *touched* volume `O(n·Hs²·Ht)` rather than the domain volume. On
+//! Flu-like instances this converts the dominant cost into a negligible
+//! one (see `benches/sparse.rs` and the `ablation_sparse` harness); on
+//! dense instances (eBird) the dense [`Grid3`](crate::Grid3) remains
+//! preferable since every block gets allocated anyway and the block table
+//! adds indirection.
+
+use crate::dims::GridDims;
+use crate::grid3::Grid3;
+use crate::range::VoxelRange;
+use crate::scalar::Scalar;
+
+/// Shape of one sparse block, in voxels.
+///
+/// Blocks are X-fastest internally, like [`Grid3`]. The default
+/// (`32×8×8` = 2048 voxels, 8 KiB of `f32`) keeps X-rows long enough for
+/// the stride-1 inner loop of `PB-SYM` while staying well under typical L1
+/// sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockDims {
+    /// Block extent along x.
+    pub bx: usize,
+    /// Block extent along y.
+    pub by: usize,
+    /// Block extent along t.
+    pub bt: usize,
+}
+
+impl BlockDims {
+    /// The default block shape (`32×8×8`).
+    pub const DEFAULT: Self = Self {
+        bx: 32,
+        by: 8,
+        bt: 8,
+    };
+
+    /// Create a block shape. All extents must be non-zero.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    pub fn new(bx: usize, by: usize, bt: usize) -> Self {
+        assert!(bx > 0 && by > 0 && bt > 0, "block extents must be non-zero");
+        Self { bx, by, bt }
+    }
+
+    /// Voxels per block.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.bx * self.by * self.bt
+    }
+
+    /// Flat index of a voxel *within* a block (X-fastest).
+    #[inline(always)]
+    fn idx(&self, lx: usize, ly: usize, lt: usize) -> usize {
+        (lt * self.by + ly) * self.bx + lx
+    }
+}
+
+impl Default for BlockDims {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// A block-sparse 3-D grid: a table of lazily allocated fixed-shape blocks.
+///
+/// Reads of never-written voxels return zero without allocating. All
+/// accumulation APIs mirror [`Grid3`] so the STKDE kernels can target
+/// either backend.
+///
+/// ```
+/// use stkde_grid::{GridDims, SparseGrid3};
+///
+/// // A grid that would be 256 MB dense; nothing is allocated up front.
+/// let mut g: SparseGrid3<f32> = SparseGrid3::new(GridDims::new(1024, 1024, 64));
+/// assert_eq!(g.allocated_blocks(), 0);
+/// g.add(500, 500, 30, 1.0);
+/// assert_eq!(g.get(500, 500, 30), 1.0);
+/// assert_eq!(g.get(0, 0, 0), 0.0);       // never-written voxels read zero
+/// assert_eq!(g.allocated_blocks(), 1);   // one 32×8×8 block materialized
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseGrid3<S> {
+    dims: GridDims,
+    block: BlockDims,
+    /// Blocks per axis (`⌈G/B⌉`).
+    nbx: usize,
+    nby: usize,
+    nbt: usize,
+    blocks: Vec<Option<Box<[S]>>>,
+    allocated: usize,
+}
+
+impl<S: Scalar> SparseGrid3<S> {
+    /// Empty sparse grid with the default block shape.
+    pub fn new(dims: GridDims) -> Self {
+        Self::with_blocks(dims, BlockDims::DEFAULT)
+    }
+
+    /// Empty sparse grid with an explicit block shape.
+    pub fn with_blocks(dims: GridDims, block: BlockDims) -> Self {
+        let nbx = dims.gx.div_ceil(block.bx);
+        let nby = dims.gy.div_ceil(block.by);
+        let nbt = dims.gt.div_ceil(block.bt);
+        Self {
+            dims,
+            block,
+            nbx,
+            nby,
+            nbt,
+            blocks: vec![None; nbx * nby * nbt],
+            allocated: 0,
+        }
+    }
+
+    /// Grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Block shape.
+    #[inline]
+    pub fn block_dims(&self) -> BlockDims {
+        self.block
+    }
+
+    /// Number of entries in the block table (`⌈Gx/Bx⌉·⌈Gy/By⌉·⌈Gt/Bt⌉`).
+    #[inline]
+    pub fn table_len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks currently allocated.
+    #[inline]
+    pub fn allocated_blocks(&self) -> usize {
+        self.allocated
+    }
+
+    /// Approximate heap footprint: block payloads plus the block table.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated * self.block.volume() * std::mem::size_of::<S>()
+            + self.blocks.len() * std::mem::size_of::<Option<Box<[S]>>>()
+    }
+
+    /// Fraction of table entries that are allocated, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.allocated as f64 / self.blocks.len() as f64
+        }
+    }
+
+    #[inline(always)]
+    fn table_idx(&self, bx: usize, by: usize, bt: usize) -> usize {
+        debug_assert!(bx < self.nbx && by < self.nby && bt < self.nbt);
+        (bt * self.nby + by) * self.nbx + bx
+    }
+
+    /// Value at voxel `(x, y, t)`; zero if its block was never written.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, t: usize) -> S {
+        debug_assert!(self.dims.contains(x, y, t));
+        let ti = self.table_idx(x / self.block.bx, y / self.block.by, t / self.block.bt);
+        match &self.blocks[ti] {
+            None => S::ZERO,
+            Some(b) => {
+                b[self
+                    .block
+                    .idx(x % self.block.bx, y % self.block.by, t % self.block.bt)]
+            }
+        }
+    }
+
+    fn alloc_block(block: BlockDims) -> Box<[S]> {
+        vec![S::ZERO; block.volume()].into_boxed_slice()
+    }
+
+    #[inline]
+    fn block_mut(&mut self, bx: usize, by: usize, bt: usize) -> &mut [S] {
+        let ti = self.table_idx(bx, by, bt);
+        if self.blocks[ti].is_none() {
+            self.blocks[ti] = Some(Self::alloc_block(self.block));
+            self.allocated += 1;
+        }
+        self.blocks[ti].as_deref_mut().expect("just allocated")
+    }
+
+    /// Add `v` to voxel `(x, y, t)`, allocating its block if needed.
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, t: usize, v: S) {
+        debug_assert!(self.dims.contains(x, y, t));
+        let (bx, by, bt) = (x / self.block.bx, y / self.block.by, t / self.block.bt);
+        let (lx, ly, lt) = (x % self.block.bx, y % self.block.by, t % self.block.bt);
+        let li = self.block.idx(lx, ly, lt);
+        self.block_mut(bx, by, bt)[li] += v;
+    }
+
+    /// Accumulate a contiguous X-row of `f64` values starting at
+    /// `(x0, y, t)`, splitting the row across block columns.
+    ///
+    /// This is the sparse counterpart of writing through
+    /// [`Grid3::row_mut`](crate::Grid3::row_mut) and is the write primitive
+    /// used by the sparse `PB-SYM` kernel: values are converted with
+    /// [`Scalar::from_f64`] as they are added.
+    pub fn add_row_f64(&mut self, y: usize, t: usize, x0: usize, vals: &[f64]) {
+        if vals.is_empty() {
+            return;
+        }
+        debug_assert!(self.dims.contains(x0 + vals.len() - 1, y, t));
+        let (by, bt) = (y / self.block.by, t / self.block.bt);
+        let (ly, lt) = (y % self.block.by, t % self.block.bt);
+        let row_base = self.block.idx(0, ly, lt);
+        let bxw = self.block.bx;
+        let mut x = x0;
+        let mut off = 0;
+        while off < vals.len() {
+            let bx = x / bxw;
+            let lx = x % bxw;
+            // Length of this row segment inside block column `bx`.
+            let seg = (bxw - lx).min(vals.len() - off);
+            let data = self.block_mut(bx, by, bt);
+            let dst = &mut data[row_base + lx..row_base + lx + seg];
+            for (d, &v) in dst.iter_mut().zip(&vals[off..off + seg]) {
+                *d += S::from_f64(v);
+            }
+            x += seg;
+            off += seg;
+        }
+    }
+
+    /// Merge another sparse grid into this one (block-wise addition).
+    ///
+    /// This is the reduction step of the sparse domain-replication
+    /// algorithm: only blocks allocated in `other` are touched, so the
+    /// reduce cost is proportional to the *touched* volume, not `Θ(G)` per
+    /// replica as in dense `PB-SYM-DR`.
+    ///
+    /// # Panics
+    /// Panics if dimensions or block shapes differ.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dims, other.dims, "grid shapes must match");
+        assert_eq!(self.block, other.block, "block shapes must match");
+        for ti in 0..other.blocks.len() {
+            let Some(src) = &other.blocks[ti] else {
+                continue;
+            };
+            if self.blocks[ti].is_none() {
+                self.blocks[ti] = Some(src.clone());
+                self.allocated += 1;
+            } else {
+                let dst = self.blocks[ti].as_deref_mut().expect("checked above");
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d += s;
+                }
+            }
+        }
+    }
+
+    /// Materialize as a dense [`Grid3`] (allocating `Θ(G)`).
+    pub fn to_dense(&self) -> Grid3<S> {
+        let mut g = Grid3::zeros(self.dims);
+        for (bt, by, bx, data) in self.iter_blocks() {
+            let x0 = bx * self.block.bx;
+            let y0 = by * self.block.by;
+            let t0 = bt * self.block.bt;
+            let xw = self.block.bx.min(self.dims.gx - x0);
+            for lt in 0..self.block.bt.min(self.dims.gt - t0) {
+                for ly in 0..self.block.by.min(self.dims.gy - y0) {
+                    let src = &data[self.block.idx(0, ly, lt)..][..xw];
+                    let dst = g.row_mut(y0 + ly, t0 + lt, x0, x0 + xw);
+                    dst.copy_from_slice(src);
+                }
+            }
+        }
+        g
+    }
+
+    /// Iterate allocated blocks as `(bt, by, bx, data)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, usize, &[S])> + '_ {
+        self.blocks.iter().enumerate().filter_map(move |(ti, b)| {
+            b.as_deref().map(|data| {
+                let bx = ti % self.nbx;
+                let rest = ti / self.nbx;
+                (rest / self.nby, rest % self.nby, bx, data)
+            })
+        })
+    }
+
+    /// Sum of all stored values (unallocated blocks contribute zero).
+    pub fn sum(&self) -> f64 {
+        self.iter_blocks()
+            .map(|(bt, by, bx, data)| {
+                // Padding voxels (outside `dims` in edge blocks) are never
+                // written, so summing the whole payload is safe.
+                let _ = (bt, by, bx);
+                data.iter().map(|v| v.to_f64()).sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Number of voxels with a non-zero stored value.
+    pub fn nonzero_count(&self) -> usize {
+        self.iter_blocks()
+            .map(|(_, _, _, data)| data.iter().filter(|v| **v != S::ZERO).count())
+            .sum()
+    }
+
+    /// Upper bound on the number of blocks a voxel range can touch.
+    pub fn blocks_touching(&self, r: VoxelRange) -> usize {
+        let r = r.clipped(self.dims);
+        if r.is_empty() {
+            return 0;
+        }
+        let nx = r.x1.div_ceil(self.block.bx) - r.x0 / self.block.bx;
+        let ny = r.y1.div_ceil(self.block.by) - r.y0 / self.block.by;
+        let nt = r.t1.div_ceil(self.block.bt) - r.t0 / self.block.bt;
+        nx * ny * nt
+    }
+
+    /// Maximum absolute difference against a dense grid of the same shape.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff_dense(&self, dense: &Grid3<S>) -> f64 {
+        assert_eq!(self.dims, dense.dims(), "grid shapes must match");
+        let mut worst = 0.0f64;
+        for (x, y, t) in self.dims.iter() {
+            let d = (self.get(x, y, t).to_f64() - dense.get(x, y, t).to_f64()).abs();
+            worst = worst.max(d);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_grid_reads_zero_without_allocating() {
+        let g: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(100, 100, 50));
+        assert_eq!(g.get(99, 99, 49), 0.0);
+        assert_eq!(g.allocated_blocks(), 0);
+        assert_eq!(g.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn add_allocates_exactly_one_block() {
+        let mut g: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(100, 100, 50));
+        g.add(5, 5, 5, 2.0);
+        g.add(6, 5, 5, 1.0);
+        assert_eq!(g.allocated_blocks(), 1);
+        assert_eq!(g.get(5, 5, 5), 2.0);
+        assert_eq!(g.get(6, 5, 5), 1.0);
+        assert_eq!(g.get(7, 5, 5), 0.0);
+    }
+
+    #[test]
+    fn table_len_is_ceil_division() {
+        let g: SparseGrid3<f32> =
+            SparseGrid3::with_blocks(GridDims::new(33, 9, 8), BlockDims::new(32, 8, 8));
+        // 2 block columns × 2 block rows × 1 block layer.
+        assert_eq!(g.table_len(), 4);
+    }
+
+    #[test]
+    fn add_row_spans_block_boundaries() {
+        let dims = GridDims::new(70, 10, 10);
+        let mut g: SparseGrid3<f64> =
+            SparseGrid3::with_blocks(dims, BlockDims::new(32, 8, 8));
+        let vals: Vec<f64> = (0..70).map(|i| i as f64).collect();
+        g.add_row_f64(3, 4, 0, &vals);
+        // The row crosses 3 block columns.
+        assert_eq!(g.allocated_blocks(), 3);
+        for x in 0..70 {
+            assert_eq!(g.get(x, 3, 4), x as f64, "x={x}");
+        }
+        assert_eq!(g.get(0, 4, 4), 0.0);
+    }
+
+    #[test]
+    fn add_row_accumulates() {
+        let mut g: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(40, 8, 8));
+        g.add_row_f64(0, 0, 4, &[1.0, 2.0]);
+        g.add_row_f64(0, 0, 5, &[10.0]);
+        assert_eq!(g.get(4, 0, 0), 1.0);
+        assert_eq!(g.get(5, 0, 0), 12.0);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let dims = GridDims::new(50, 20, 12);
+        let mut g: SparseGrid3<f64> =
+            SparseGrid3::with_blocks(dims, BlockDims::new(16, 8, 4));
+        g.add(0, 0, 0, 1.0);
+        g.add(49, 19, 11, 2.0); // edge block (partially outside)
+        g.add(25, 10, 6, 3.0);
+        let dense = g.to_dense();
+        assert_eq!(dense.get(0, 0, 0), 1.0);
+        assert_eq!(dense.get(49, 19, 11), 2.0);
+        assert_eq!(dense.get(25, 10, 6), 3.0);
+        assert_eq!(g.max_abs_diff_dense(&dense), 0.0);
+        let total: f64 = dense.as_slice().iter().sum();
+        assert_eq!(total, 6.0);
+        assert_eq!(g.sum(), 6.0);
+    }
+
+    #[test]
+    fn merge_from_adds_blockwise() {
+        let dims = GridDims::new(40, 16, 8);
+        let mut a: SparseGrid3<f64> = SparseGrid3::new(dims);
+        let mut b: SparseGrid3<f64> = SparseGrid3::new(dims);
+        a.add(1, 1, 1, 1.0);
+        b.add(1, 1, 1, 2.0); // same block
+        b.add(39, 15, 7, 5.0); // block only in b
+        a.merge_from(&b);
+        assert_eq!(a.get(1, 1, 1), 3.0);
+        assert_eq!(a.get(39, 15, 7), 5.0);
+        assert_eq!(a.allocated_blocks(), 2);
+        // b unchanged.
+        assert_eq!(b.get(1, 1, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block shapes")]
+    fn merge_mismatched_blocks_panics() {
+        let dims = GridDims::new(8, 8, 8);
+        let mut a: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(4, 4, 4));
+        let b: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(8, 8, 8));
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn nonzero_count_ignores_padding() {
+        // 5-wide grid with 4-wide blocks: edge block has 3 padding columns.
+        let mut g: SparseGrid3<f64> =
+            SparseGrid3::with_blocks(GridDims::new(5, 4, 4), BlockDims::new(4, 4, 4));
+        g.add(4, 0, 0, 1.0);
+        assert_eq!(g.nonzero_count(), 1);
+        assert_eq!(g.allocated_blocks(), 1);
+    }
+
+    #[test]
+    fn blocks_touching_counts_straddled_columns() {
+        let g: SparseGrid3<f32> =
+            SparseGrid3::with_blocks(GridDims::new(64, 64, 64), BlockDims::new(32, 8, 8));
+        let r = VoxelRange {
+            x0: 30,
+            x1: 35, // straddles x-blocks 0 and 1
+            y0: 0,
+            y1: 8, // one y-block
+            t0: 7,
+            t1: 9, // straddles t-blocks 0 and 1
+        };
+        assert_eq!(g.blocks_touching(r), 4, "2 x-blocks x 1 y-block x 2 t-blocks");
+        assert_eq!(g.blocks_touching(VoxelRange::empty()), 0);
+    }
+
+    #[test]
+    fn allocated_bytes_grows_with_blocks() {
+        let mut g: SparseGrid3<f32> =
+            SparseGrid3::with_blocks(GridDims::new(64, 64, 64), BlockDims::new(8, 8, 8));
+        let empty = g.allocated_bytes();
+        g.add(0, 0, 0, 1.0);
+        assert_eq!(g.allocated_bytes(), empty + 512 * 4);
+    }
+
+    proptest! {
+        /// Random scattered adds agree voxel-for-voxel with a dense grid.
+        #[test]
+        fn sparse_matches_dense_scatter(
+            writes in proptest::collection::vec(
+                (0usize..50, 0usize..30, 0usize..20, -10.0f64..10.0), 0..200),
+            bx in 1usize..40, by in 1usize..40, bt in 1usize..40,
+        ) {
+            let dims = GridDims::new(50, 30, 20);
+            let mut sparse: SparseGrid3<f64> =
+                SparseGrid3::with_blocks(dims, BlockDims::new(bx, by, bt));
+            let mut dense: Grid3<f64> = Grid3::zeros(dims);
+            for &(x, y, t, v) in &writes {
+                sparse.add(x, y, t, v);
+                dense.add(x, y, t, v);
+            }
+            prop_assert_eq!(sparse.max_abs_diff_dense(&dense), 0.0);
+            prop_assert_eq!(sparse.to_dense(), dense);
+        }
+
+        /// Row writes agree with per-voxel writes, for any block shape and
+        /// any row placement (including rows crossing many blocks).
+        #[test]
+        fn add_row_matches_pointwise(
+            bx in 1usize..20,
+            x0 in 0usize..40,
+            len in 0usize..24,
+            y in 0usize..16, t in 0usize..16,
+            seed in 0u64..1000,
+        ) {
+            let dims = GridDims::new(64, 16, 16);
+            let mut by_row: SparseGrid3<f64> =
+                SparseGrid3::with_blocks(dims, BlockDims::new(bx, 4, 4));
+            let mut by_voxel = by_row.clone();
+            let vals: Vec<f64> = (0..len.min(64 - x0))
+                .map(|i| ((seed + i as u64) % 17) as f64 - 8.0)
+                .collect();
+            by_row.add_row_f64(y, t, x0, &vals);
+            for (i, &v) in vals.iter().enumerate() {
+                by_voxel.add(x0 + i, y, t, v);
+            }
+            prop_assert_eq!(by_row.to_dense(), by_voxel.to_dense());
+            prop_assert_eq!(by_row.allocated_blocks(), by_voxel.allocated_blocks());
+        }
+
+        /// Merging a split write-set equals writing everything into one grid.
+        #[test]
+        fn merge_is_addition(
+            writes in proptest::collection::vec(
+                (0usize..32, 0usize..32, 0usize..16, -5.0f64..5.0, proptest::bool::ANY),
+                0..100),
+        ) {
+            let dims = GridDims::new(32, 32, 16);
+            let mut whole: SparseGrid3<f64> = SparseGrid3::new(dims);
+            let mut left: SparseGrid3<f64> = SparseGrid3::new(dims);
+            let mut right: SparseGrid3<f64> = SparseGrid3::new(dims);
+            for &(x, y, t, v, goes_left) in &writes {
+                whole.add(x, y, t, v);
+                if goes_left { left.add(x, y, t, v) } else { right.add(x, y, t, v) }
+            }
+            left.merge_from(&right);
+            prop_assert_eq!(left.to_dense(), whole.to_dense());
+        }
+
+        /// Allocation never exceeds the blocks-touching bound of the
+        /// written region, and occupancy stays in [0, 1].
+        #[test]
+        fn allocation_bounded_by_touched_region(
+            xs in proptest::collection::vec((0usize..64, 0usize..64, 0usize..32), 1..50),
+        ) {
+            let dims = GridDims::new(64, 64, 32);
+            let mut g: SparseGrid3<f32> = SparseGrid3::new(dims);
+            let mut r = VoxelRange::empty();
+            for &(x, y, t) in &xs {
+                g.add(x, y, t, 1.0);
+                let single = VoxelRange { x0: x, x1: x + 1, y0: y, y1: y + 1, t0: t, t1: t + 1 };
+                r = if r.is_empty() { single } else {
+                    VoxelRange {
+                        x0: r.x0.min(x), x1: r.x1.max(x + 1),
+                        y0: r.y0.min(y), y1: r.y1.max(y + 1),
+                        t0: r.t0.min(t), t1: r.t1.max(t + 1),
+                    }
+                };
+            }
+            prop_assert!(g.allocated_blocks() <= g.blocks_touching(r));
+            prop_assert!(g.occupancy() > 0.0 && g.occupancy() <= 1.0);
+        }
+    }
+}

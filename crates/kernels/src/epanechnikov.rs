@@ -1,0 +1,106 @@
+//! The default STKDE kernel (Nakaya & Yano 2010).
+
+use crate::traits::SpaceTimeKernel;
+use serde::{Deserialize, Serialize};
+
+/// Product Epanechnikov kernel:
+///
+/// ```text
+/// ks(u, v) = 2/π · (1 − u² − v²)   for u² + v² < 1, else 0
+/// kt(w)    = 3/4 · (1 − w²)        for |w| ≤ 1,     else 0
+/// ```
+///
+/// This is the kernel pair of Nakaya & Yano (2010), the space-time cube
+/// formulation the paper references for STKDE. Both factors integrate to
+/// one over their support (disk resp. interval), so with the `1/(n·hs²·ht)`
+/// normalization the estimate is a proper density.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Epanechnikov;
+
+impl SpaceTimeKernel for Epanechnikov {
+    #[inline(always)]
+    fn spatial(&self, u: f64, v: f64) -> f64 {
+        let r2 = u * u + v * v;
+        if r2 < 1.0 {
+            std::f64::consts::FRAC_2_PI * (1.0 - r2)
+        } else {
+            0.0
+        }
+    }
+
+    #[inline(always)]
+    fn temporal(&self, w: f64) -> f64 {
+        if w.abs() <= 1.0 {
+            0.75 * (1.0 - w * w)
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "epanechnikov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{in_spatial_support, in_temporal_support};
+    use proptest::prelude::*;
+
+    #[test]
+    fn peak_values() {
+        let k = Epanechnikov;
+        assert!((k.spatial(0.0, 0.0) - 2.0 / std::f64::consts::PI).abs() < 1e-15);
+        assert!((k.temporal(0.0) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vanishes_at_and_outside_boundary() {
+        let k = Epanechnikov;
+        assert_eq!(k.spatial(1.0, 0.0), 0.0);
+        assert_eq!(k.spatial(0.8, 0.8), 0.0);
+        assert_eq!(k.temporal(1.0), 0.0); // continuous: zero *at* boundary
+        assert_eq!(k.temporal(-1.2), 0.0);
+    }
+
+    #[test]
+    fn radially_symmetric() {
+        let k = Epanechnikov;
+        let r = 0.6;
+        for deg in 0..12 {
+            let a = f64::from(deg) * std::f64::consts::PI / 6.0;
+            let v = k.spatial(r * a.cos(), r * a.sin());
+            assert!((v - k.spatial(r, 0.0)).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn nonnegative_and_finite(u in -2.0..2.0f64, v in -2.0..2.0f64, w in -2.0..2.0f64) {
+            let k = Epanechnikov;
+            let val = k.eval(u, v, w);
+            prop_assert!(val >= 0.0);
+            prop_assert!(val.is_finite());
+        }
+
+        #[test]
+        fn zero_outside_support(u in -3.0..3.0f64, v in -3.0..3.0f64, w in -3.0..3.0f64) {
+            let k = Epanechnikov;
+            if !in_spatial_support(u, v) {
+                prop_assert_eq!(k.spatial(u, v), 0.0);
+            }
+            if !in_temporal_support(w) {
+                prop_assert_eq!(k.temporal(w), 0.0);
+            }
+        }
+
+        #[test]
+        fn monotone_decay_in_radius(r1 in 0.0..1.0f64, r2 in 0.0..1.0f64) {
+            let k = Epanechnikov;
+            let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+            prop_assert!(k.spatial(hi, 0.0) <= k.spatial(lo, 0.0));
+            prop_assert!(k.temporal(hi) <= k.temporal(lo));
+        }
+    }
+}

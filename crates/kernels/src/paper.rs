@@ -1,0 +1,88 @@
+//! The kernel pair as printed in the paper.
+
+use crate::traits::{in_spatial_support, in_temporal_support, SpaceTimeKernel};
+use serde::{Deserialize, Serialize};
+
+/// The kernel pair exactly as printed in §2.1 of the paper:
+///
+/// ```text
+/// ks(u, v) = π/2 · (1 − u)² (1 − v)²
+/// kt(w)    = 3/4 · (1 − w)²
+/// ```
+///
+/// interpreted with `|u|, |v|, |w|` so the factors decay with distance and
+/// are symmetric (the printed form is almost certainly a typesetting of
+/// squared *normalized distances*; taken verbatim it would *grow* for
+/// negative offsets). The same supports as [`crate::Epanechnikov`] are
+/// applied (`u²+v² < 1`, `|w| ≤ 1`) per the paper's membership conditions
+/// `di < hs`, `|ti − t| ≤ ht`.
+///
+/// Provided for completeness; the flop count per evaluation matches the
+/// default kernel, so measured algorithm behaviour is unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperLiteral;
+
+impl SpaceTimeKernel for PaperLiteral {
+    #[inline(always)]
+    fn spatial(&self, u: f64, v: f64) -> f64 {
+        if in_spatial_support(u, v) {
+            let a = 1.0 - u.abs();
+            let b = 1.0 - v.abs();
+            std::f64::consts::FRAC_PI_2 * a * a * b * b
+        } else {
+            0.0
+        }
+    }
+
+    #[inline(always)]
+    fn temporal(&self, w: f64) -> f64 {
+        if in_temporal_support(w) {
+            let a = 1.0 - w.abs();
+            0.75 * a * a
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "paper-literal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn peak_values() {
+        let k = PaperLiteral;
+        assert!((k.spatial(0.0, 0.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((k.temporal(0.0) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetric_in_sign() {
+        let k = PaperLiteral;
+        assert_eq!(k.spatial(0.3, -0.4), k.spatial(-0.3, 0.4));
+        assert_eq!(k.temporal(0.5), k.temporal(-0.5));
+    }
+
+    #[test]
+    fn support_matches_epanechnikov() {
+        let k = PaperLiteral;
+        assert_eq!(k.spatial(0.8, 0.8), 0.0);
+        assert!(k.spatial(0.7, 0.7) > 0.0);
+        assert_eq!(k.temporal(1.1), 0.0);
+        assert!(k.temporal(1.0) >= 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn nonnegative_decaying(u in -1.5..1.5f64, v in -1.5..1.5f64, w in -1.5..1.5f64) {
+            let k = PaperLiteral;
+            prop_assert!(k.eval(u, v, w) >= 0.0);
+            prop_assert!(k.eval(u, v, w).is_finite());
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A dependency-counting parallel task executor.
+//!
+//! This is the stand-in for OpenMP 4.0's `task depend` construct used by
+//! the paper's `PB-SYM-PD-SCHED`/`-REP` implementations: tasks become ready
+//! when all their DAG predecessors have finished, and greedy workers always
+//! grab the highest-priority ready task — i.e. the executor *is* a list
+//! scheduler, so Graham's `T_P ≤ (T₁−T∞)/P + T∞` guarantee applies.
+//!
+//! Panics inside tasks are caught, poison the run, and are re-thrown on the
+//! calling thread after all workers have drained (no deadlocks, no lost
+//! workers).
+
+use crate::dag::TaskDag;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Totally ordered f64 key for the ready heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct SharedState {
+    ready: BinaryHeap<(OrdF64, Reverse<usize>)>,
+    remaining: usize,
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Execute every task of `dag` on `threads` worker threads, respecting
+/// dependencies; among ready tasks, higher `priority` starts first.
+///
+/// `task_fn` is called exactly once per task index. If a task panics, the
+/// run drains (no new tasks start) and the panic is re-thrown here.
+///
+/// # Panics
+/// Panics if `threads == 0`, if `priority.len() != dag.n()`, or (re-thrown)
+/// if a task panicked.
+pub fn run_dag<F>(dag: &TaskDag, threads: usize, priority: &[f64], task_fn: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    assert_eq!(priority.len(), dag.n(), "priority length mismatch");
+    let n = dag.n();
+    if n == 0 {
+        return;
+    }
+
+    let in_deg: Vec<AtomicUsize> = (0..n)
+        .map(|v| AtomicUsize::new(dag.preds(v).len()))
+        .collect();
+    let ready0: BinaryHeap<(OrdF64, Reverse<usize>)> = (0..n)
+        .filter(|&v| dag.preds(v).is_empty())
+        .map(|v| (OrdF64(priority[v]), Reverse(v)))
+        .collect();
+    assert!(
+        !ready0.is_empty(),
+        "DAG with tasks but no source vertices (cycle)"
+    );
+
+    let state = Mutex::new(SharedState {
+        ready: ready0,
+        remaining: n,
+        panic_payload: None,
+    });
+    let cv = Condvar::new();
+
+    let worker = |_wid: usize| {
+        loop {
+            // Acquire a task (or learn that the run is over).
+            let task = {
+                let mut s = state.lock();
+                loop {
+                    if s.remaining == 0 || s.panic_payload.is_some() {
+                        return;
+                    }
+                    if let Some((_, Reverse(v))) = s.ready.pop() {
+                        break v;
+                    }
+                    cv.wait(&mut s);
+                }
+            };
+
+            // Run it outside the lock.
+            let result = catch_unwind(AssertUnwindSafe(|| task_fn(task)));
+
+            match result {
+                Ok(()) => {
+                    // Release successors.
+                    for &succ in dag.succs(task) {
+                        let succ = succ as usize;
+                        if in_deg[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let mut s = state.lock();
+                            s.ready.push((OrdF64(priority[succ]), Reverse(succ)));
+                            drop(s);
+                            cv.notify_one();
+                        }
+                    }
+                    let mut s = state.lock();
+                    s.remaining -= 1;
+                    if s.remaining == 0 {
+                        drop(s);
+                        cv.notify_all();
+                    }
+                }
+                Err(payload) => {
+                    let mut s = state.lock();
+                    if s.panic_payload.is_none() {
+                        s.panic_payload = Some(payload);
+                    }
+                    drop(s);
+                    cv.notify_all();
+                    return;
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|wid| scope.spawn(move || worker(wid)))
+            .collect();
+        for h in handles {
+            // Worker closures never panic themselves (task panics are
+            // captured), so join errors are impossible; be defensive anyway.
+            if h.join().is_err() {
+                let mut s = state.lock();
+                if s.panic_payload.is_none() {
+                    s.panic_payload = Some(Box::new("worker thread panicked"));
+                }
+            }
+        }
+    });
+
+    let payload = state.lock().panic_payload.take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    /// Tick counter for ordering assertions.
+    fn run_and_trace(dag: &TaskDag, threads: usize) -> (Vec<usize>, Vec<usize>) {
+        let clock = AtomicUsize::new(0);
+        let starts: Vec<AtomicUsize> = (0..dag.n()).map(|_| AtomicUsize::new(0)).collect();
+        let ends: Vec<AtomicUsize> = (0..dag.n()).map(|_| AtomicUsize::new(0)).collect();
+        run_dag(dag, threads, dag.weights(), |v| {
+            starts[v].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            std::thread::yield_now();
+            ends[v].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+        });
+        (
+            starts.iter().map(|a| a.load(Ordering::SeqCst)).collect(),
+            ends.iter().map(|a| a.load(Ordering::SeqCst)).collect(),
+        )
+    }
+
+    #[test]
+    fn runs_every_task_once() {
+        let dag = TaskDag::from_edges(20, vec![1.0; 20], &[]);
+        let count = AtomicUsize::new(0);
+        let seen = StdMutex::new(vec![0u8; 20]);
+        run_dag(&dag, 4, dag.weights(), |v| {
+            count.fetch_add(1, Ordering::SeqCst);
+            seen.lock().unwrap()[v] += 1;
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn respects_dependencies_under_concurrency() {
+        // Two independent chains of length 4, threads = 4.
+        let edges = vec![(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)];
+        let dag = TaskDag::from_edges(8, vec![1.0; 8], &edges);
+        for _ in 0..20 {
+            let (starts, ends) = run_and_trace(&dag, 4);
+            for &(u, v) in &edges {
+                assert!(
+                    ends[u] < starts[v],
+                    "task {v} started (tick {}) before pred {u} finished (tick {})",
+                    starts[v],
+                    ends[u]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_order() {
+        let dag = TaskDag::from_edges(4, vec![1.0; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let (starts, ends) = run_and_trace(&dag, 2);
+        assert!(ends[0] < starts[1] && ends[0] < starts[2]);
+        assert!(ends[1] < starts[3] && ends[2] < starts[3]);
+    }
+
+    #[test]
+    fn single_thread_runs_in_priority_order() {
+        let dag = TaskDag::from_edges(4, vec![1.0; 4], &[]);
+        let priority = vec![1.0, 4.0, 2.0, 3.0];
+        let order = StdMutex::new(Vec::new());
+        run_dag(&dag, 1, &priority, |v| order.lock().unwrap().push(v));
+        assert_eq!(*order.lock().unwrap(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn empty_dag_is_noop() {
+        let dag = TaskDag::from_edges(0, vec![], &[]);
+        run_dag(&dag, 3, &[], |_| panic!("should not run"));
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let dag = TaskDag::from_edges(8, vec![1.0; 8], &[]);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_dag(&dag, 4, dag.weights(), |v| {
+                if v == 3 {
+                    panic!("boom in task 3");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic should propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn panic_does_not_deadlock_with_blocked_tasks() {
+        // Task 1 depends on 0; 0 panics; the run must still terminate.
+        let dag = TaskDag::from_edges(2, vec![1.0; 2], &[(0, 1)]);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_dag(&dag, 2, dag.weights(), |v| {
+                if v == 0 {
+                    panic!("first task fails");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn many_threads_few_tasks() {
+        let dag = TaskDag::from_edges(2, vec![1.0; 2], &[(0, 1)]);
+        let count = AtomicUsize::new(0);
+        run_dag(&dag, 16, dag.weights(), |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn stress_random_dag() {
+        // Layered random DAG, repeated runs to shake out races.
+        let mut edges = Vec::new();
+        let (layers, width) = (6, 8);
+        let n = layers * width;
+        for l in 0..layers - 1 {
+            for a in 0..width {
+                for b in 0..width {
+                    if (a * 7 + b * 3 + l) % 5 == 0 {
+                        edges.push((l * width + a, (l + 1) * width + b));
+                    }
+                }
+            }
+        }
+        let dag = TaskDag::from_edges(n, vec![1.0; n], &edges);
+        for _ in 0..10 {
+            let (starts, ends) = run_and_trace(&dag, 4);
+            for &(u, v) in &edges {
+                assert!(ends[u] < starts[v]);
+            }
+        }
+    }
+}

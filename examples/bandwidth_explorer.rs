@@ -1,0 +1,68 @@
+//! Bandwidth exploration — the paper's Figure 1, in the terminal.
+//!
+//! Figure 1 shows the same Dengue dataset under two bandwidth choices:
+//! wide (`hs = 2500 m`, `ht = 14 d`) melts the city into broad risk
+//! regions; narrow (`hs = 500 m`, `ht = 7 d`) resolves individual
+//! outbreak foci. This example computes both cubes over one synthetic
+//! Cali-like epidemic and renders the same day side by side, plus the
+//! numbers an analyst would compare (peak density, support volume).
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_explorer
+//! ```
+
+use stkde::prelude::*;
+use stkde::ResultExt;
+
+fn main() -> Result<(), StkdeError> {
+    // A Cali-sized domain: ~12 km × 12 km over two years, 100 m / 1 day —
+    // the discretization regime of the paper's Dengue instances.
+    let extent = Extent::new([0.0, 0.0, 0.0], [12_000.0, 12_000.0, 730.0]);
+    let domain = Domain::from_extent(extent, Resolution::new(100.0, 1.0));
+    let points = DatasetKind::Dengue.generate(11_056, extent, 2010); // Table 2's n
+    println!(
+        "domain {} ({:.0} MiB of f32), {} cases\n",
+        domain.dims(),
+        domain.dims().bytes::<f32>() as f64 / (1024.0 * 1024.0),
+        points.len()
+    );
+
+    // The two Figure-1 bandwidth settings.
+    let settings = [
+        ("wide:   hs = 2500 m, ht = 14 d", Bandwidth::new(2_500.0, 14.0)),
+        ("narrow: hs =  500 m, ht =  7 d", Bandwidth::new(500.0, 7.0)),
+    ];
+
+    let mut renders = Vec::new();
+    let mut shared_day = None;
+    for (label, bw) in settings {
+        let result = Stkde::new(domain, bw)
+            .algorithm(Algorithm::Auto)
+            .threads(2)
+            .compute::<f32>(&points)?;
+        let stats = stkde::grid_stats(result.grid());
+        // Compare both settings on the day the wide cube peaks.
+        let day = *shared_day.get_or_insert_with(|| {
+            let ((_, _, t), _) = stkde::grid::stats::top_k(result.grid(), 1)[0];
+            t
+        });
+        println!(
+            "{label}  [{}]\n  peak f̂ = {:.3e}, support = {:.1}% of voxels, compute {}",
+            result.algorithm,
+            stats.max,
+            100.0 * stats.occupancy(),
+            result.timings
+        );
+        renders.push((label, stkde::grid::io::ascii_slice(result.grid(), day, 56, 24)));
+    }
+
+    let day = shared_day.expect("two runs completed");
+    println!("\nsame epidemic, same day ({day}), two bandwidths:");
+    for (label, art) in &renders {
+        println!("\n--- {label} ---");
+        print!("{art}");
+    }
+    println!("\nThe wide setting blends foci into regional risk surfaces; the");
+    println!("narrow one isolates street-level clusters — the Figure 1 contrast.");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Distributed-memory STKDE over simulated ranks: the avian-flu scenario
+//! on a small cluster.
+//!
+//! The paper's conclusion points at distributed machines as the way past
+//! shared-memory limits (its Flu Hr grid alone is 20 GB). This example
+//! partitions a world-scale flu grid into T-slabs across 8 simulated
+//! ranks, runs both exchange strategies, and prices the recorded traffic
+//! with postal-model presets to compare what a real cluster would see.
+//!
+//! ```sh
+//! cargo run --release --example distributed_flu
+//! ```
+
+use stkde::comm::{CommCost, ModeledRun};
+use stkde::core::distmem::{self, DistStrategy};
+use stkde::kernels::Epanechnikov;
+use stkde::prelude::*;
+use stkde::Problem;
+
+fn main() -> Result<(), StkdeError> {
+    // A hemisphere-scale domain observed for ~3 years at 0.5° / 3 days —
+    // a scaled-down cousin of the paper's Flu Mr instance.
+    let extent = Extent::new([0.0, 0.0, 0.0], [360.0, 150.0, 1_000.0]);
+    let domain = Domain::from_extent(extent, Resolution::new(0.5, 3.0));
+    let bw = Bandwidth::new(2.5, 21.0);
+    let points = DatasetKind::Flu.generate(30_000, extent, 23);
+    println!(
+        "domain {} ({:.0} MB of f32), {} observations",
+        domain.dims(),
+        domain.dims().bytes::<f32>() as f64 / 1e6,
+        points.len()
+    );
+
+    // Sequential reference.
+    let problem = Problem::new(domain, bw, points.len());
+    let seq = Stkde::new(domain, bw)
+        .algorithm(Algorithm::PbSym)
+        .compute::<f32>(&points)?;
+    let seq_secs = seq.timings.total().as_secs_f64();
+    println!("sequential PB-SYM: {}\n", seq.timings);
+
+    const RANKS: usize = 8;
+    for strategy in [DistStrategy::PointExchange, DistStrategy::HaloExchange] {
+        let r = distmem::run::<f32, _>(&problem, &Epanechnikov, points.as_slice(), RANKS, strategy)?;
+
+        // The density cube must be identical to the sequential one.
+        let diff = seq.grid.max_rel_diff(&r.grid, 1e-9);
+        assert!(diff < 1e-4, "distributed result diverged: {diff}");
+
+        // Model per-rank compute from each rank's work share (thread
+        // timings on an oversubscribed laptop would mislead).
+        let n: usize = r.processed.iter().sum();
+        let compute: Vec<f64> = r
+            .processed
+            .iter()
+            .map(|&c| seq_secs * c as f64 / n.max(1) as f64)
+            .collect();
+
+        println!("== {strategy} on {RANKS} ranks ==");
+        println!(
+            "   work: {} points rasterized (replication ×{:.3}), {:.1} MB shipped",
+            n,
+            r.replication_factor(points.len()),
+            r.total_bytes() as f64 / 1e6
+        );
+        for (name, cost) in [
+            ("perfect network", CommCost::FREE),
+            ("InfiniBand     ", CommCost::INFINIBAND),
+            ("10G Ethernet   ", CommCost::ETHERNET_10G),
+        ] {
+            let m = ModeledRun::price(compute.clone(), &r.stats, cost);
+            println!(
+                "   {name}: makespan {:>8.4}s  speedup {:>5.2}  (compute imbalance ×{:.2})",
+                m.makespan(),
+                m.speedup(seq_secs),
+                m.imbalance()
+            );
+        }
+        println!();
+    }
+    println!("Shape to expect: both strategies pay the same final gather (the");
+    println!("full cube converging on rank 0), so the differential cost is what");
+    println!("the exchange ships — replicated point records (DIST-POINT, with");
+    println!("work overhead instead) vs ghost voxel slabs (DIST-HALO, work-");
+    println!("efficient but byte-heavy). The paper's DD-vs-DR trade-off,");
+    println!("restated in bytes.");
+    Ok(())
+}

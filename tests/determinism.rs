@@ -1,0 +1,91 @@
+//! Determinism and repeatability: synthetic data is seed-stable, the
+//! sequential algorithms are bit-reproducible, and the parallel algorithms
+//! remain within floating-point reassociation tolerance of the sequential
+//! result across repeated racy executions.
+
+use stkde::prelude::*;
+use stkde::ResultExt;
+use stkde_core::validate::grids_agree;
+
+fn instance() -> (Domain, Bandwidth, PointSet) {
+    let domain = Domain::from_dims(GridDims::new(36, 30, 18));
+    let points = DatasetKind::EBird.generate(400, domain.extent(), 77);
+    (domain, Bandwidth::new(3.0, 2.0), points)
+}
+
+#[test]
+fn generation_is_seed_stable() {
+    let domain = Domain::from_dims(GridDims::new(16, 16, 8));
+    for kind in DatasetKind::ALL {
+        let a = kind.generate(200, domain.extent(), 5);
+        let b = kind.generate(200, domain.extent(), 5);
+        assert_eq!(a, b, "{kind} generation not deterministic");
+    }
+}
+
+#[test]
+fn sequential_runs_are_bit_identical() {
+    let (domain, bw, points) = instance();
+    let r1 = Stkde::new(domain, bw)
+        .algorithm(Algorithm::PbSym)
+        .compute::<f64>(&points)
+        .unwrap();
+    let r2 = Stkde::new(domain, bw)
+        .algorithm(Algorithm::PbSym)
+        .compute::<f64>(&points)
+        .unwrap();
+    assert_eq!(r1.grid().as_slice(), r2.grid().as_slice());
+}
+
+#[test]
+fn parallel_stress_stays_within_tolerance() {
+    // Run the raciest algorithms repeatedly; all executions must agree
+    // with the sequential result (any scheduling-dependent *error* would
+    // show up as a large deviation, not reassociation noise).
+    let (domain, bw, points) = instance();
+    let reference = Stkde::new(domain, bw)
+        .algorithm(Algorithm::PbSym)
+        .compute::<f64>(&points)
+        .unwrap();
+    for round in 0..6 {
+        for alg in [
+            Algorithm::PbSymPdSched {
+                decomp: Decomp::cubic(6),
+            },
+            Algorithm::PbSymPdSchedRep {
+                decomp: Decomp::cubic(6),
+            },
+            Algorithm::PbSymDd {
+                decomp: Decomp::cubic(6),
+            },
+        ] {
+            let r = Stkde::new(domain, bw)
+                .algorithm(alg)
+                .threads(4)
+                .compute::<f64>(&points)
+                .unwrap();
+            assert!(
+                grids_agree(reference.grid(), r.grid(), 1e-9, 1e-14),
+                "round {round}: {alg} deviates"
+            );
+        }
+    }
+}
+
+#[test]
+fn dr_reduction_order_is_deterministic() {
+    // DR reduces replicas in index order: repeated runs with the same
+    // thread count must agree bit-for-bit (the point->replica assignment
+    // is a fixed chunking, and f64 addition per voxel is a fixed order).
+    let (domain, bw, points) = instance();
+    let run = || {
+        Stkde::new(domain, bw)
+            .algorithm(Algorithm::PbSymDr)
+            .threads(3)
+            .compute::<f64>(&points)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.grid().as_slice(), b.grid().as_slice());
+}

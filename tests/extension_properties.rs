@@ -1,0 +1,126 @@
+//! Property-based integration: the extension execution paths agree with
+//! batch `PB-SYM` on *randomized* instances — dims, bandwidths, point
+//! clouds, rank counts, and update interleavings all drawn by proptest.
+
+use proptest::prelude::*;
+use stkde::core::distmem::{self, DistStrategy};
+use stkde::core::sparse;
+use stkde::kernels::Epanechnikov;
+use stkde::prelude::*;
+use stkde::{IncrementalStkde, Problem};
+use stkde_core::algorithms::pb_sym;
+use stkde_grid::BlockDims;
+
+/// A random instance: grid dims, bandwidths, and points inside the extent.
+fn arb_instance() -> impl Strategy<Value = (Domain, Bandwidth, Vec<Point>)> {
+    (
+        2usize..24,
+        2usize..20,
+        2usize..16,
+        1.0f64..6.0,
+        1.0f64..4.0,
+    )
+        .prop_flat_map(|(gx, gy, gt, hs, ht)| {
+            let domain = Domain::from_dims(GridDims::new(gx, gy, gt));
+            let points = proptest::collection::vec(
+                (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(move |(fx, fy, ft)| {
+                    Point::new(
+                        fx * (gx as f64 - 1e-9),
+                        fy * (gy as f64 - 1e-9),
+                        ft * (gt as f64 - 1e-9),
+                    )
+                }),
+                0..40,
+            );
+            (Just(domain), Just(Bandwidth::new(hs, ht)), points)
+        })
+}
+
+fn batch(domain: Domain, bw: Bandwidth, points: &[Point]) -> Grid3<f64> {
+    let problem = Problem::new(domain, bw, points.len());
+    pb_sym::run::<f64, _>(&problem, &Epanechnikov, points).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_equals_dense_on_random_instances(
+        (domain, bw, points) in arb_instance(),
+        bx in 1usize..12, by in 1usize..12, bt in 1usize..12,
+    ) {
+        let dense = batch(domain, bw, &points);
+        let problem = Problem::new(domain, bw, points.len());
+        let (grid, _) = sparse::run_with_blocks::<f64, _>(
+            &problem, &Epanechnikov, &points, BlockDims::new(bx, by, bt));
+        prop_assert!(grid.max_abs_diff_dense(&dense) < 1e-10);
+    }
+
+    #[test]
+    fn distmem_equals_batch_on_random_instances(
+        (domain, bw, points) in arb_instance(),
+        ranks in 1usize..6,
+        halo in proptest::bool::ANY,
+    ) {
+        prop_assume!(ranks <= domain.dims().gt);
+        let strategy = if halo { DistStrategy::HaloExchange } else { DistStrategy::PointExchange };
+        let dense = batch(domain, bw, &points);
+        let problem = Problem::new(domain, bw, points.len());
+        let r = distmem::run::<f64, _>(&problem, &Epanechnikov, &points, ranks, strategy)
+            .expect("rank count validated by assume");
+        prop_assert!(dense.max_rel_diff(&r.grid, 1e-12) < 1e-8,
+            "{strategy} ranks={ranks}");
+        // Work accounting invariants.
+        let total: usize = r.processed.iter().sum();
+        match strategy {
+            DistStrategy::HaloExchange => prop_assert_eq!(total, points.len()),
+            DistStrategy::PointExchange => prop_assert!(total >= points.len()),
+        }
+    }
+
+    #[test]
+    fn incremental_agrees_after_random_interleaving(
+        (domain, bw, points) in arb_instance(),
+        removals in proptest::collection::vec(proptest::bool::ANY, 40),
+    ) {
+        // Insert everything; remove a random subset; compare to a batch
+        // over the survivors.
+        let mut inc = IncrementalStkde::<f64>::new(domain, bw);
+        for &p in &points {
+            inc.insert(p);
+        }
+        let mut survivors = Vec::new();
+        for (i, &p) in points.iter().enumerate() {
+            if removals.get(i).copied().unwrap_or(false) {
+                inc.remove(&p);
+            } else {
+                survivors.push(p);
+            }
+        }
+        prop_assert_eq!(inc.len(), survivors.len());
+        let dense = batch(domain, bw, &survivors);
+        let snap = inc.snapshot();
+        // Removal cancellation is exact only in exact arithmetic; allow a
+        // tight absolute band scaled by the unnormalized peak.
+        let scale = dense.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-30);
+        prop_assert!(dense.max_abs_diff(&snap) < 1e-9 * scale.max(1.0));
+    }
+
+    #[test]
+    fn sparse_occupancy_and_bytes_are_consistent(
+        (domain, bw, points) in arb_instance(),
+    ) {
+        let problem = Problem::new(domain, bw, points.len());
+        let (grid, _) = sparse::run::<f32, _>(&problem, &Epanechnikov, &points);
+        prop_assert!(grid.allocated_blocks() <= grid.table_len());
+        let occ = grid.occupancy();
+        prop_assert!((0.0..=1.0).contains(&occ));
+        if points.is_empty() {
+            prop_assert_eq!(grid.allocated_blocks(), 0);
+        }
+        // Mass agreement with the dense path.
+        let dense = batch(domain, bw, &points);
+        let dense_sum: f64 = dense.as_slice().iter().sum();
+        prop_assert!((grid.sum() - dense_sum).abs() < 1e-4 * dense_sum.abs().max(1.0));
+    }
+}
