@@ -68,7 +68,13 @@ fn bench_priority_ablation(c: &mut Criterion) {
     // Heavy-tailed independent tasks: the regime where LPT matters.
     let n = 512;
     let weights: Vec<f64> = (0..n)
-        .map(|i| if i % 61 == 0 { 120.0 } else { 1.0 + (i % 5) as f64 })
+        .map(|i| {
+            if i % 61 == 0 {
+                120.0
+            } else {
+                1.0 + (i % 5) as f64
+            }
+        })
         .collect();
     let dag = TaskDag::from_edges(n, weights.clone(), &[]);
     let uniform = vec![1.0; n];

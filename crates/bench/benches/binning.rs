@@ -20,9 +20,11 @@ fn bench_binning(c: &mut Criterion) {
 
     for k in [4usize, 16] {
         let decomp = Decomposition::new(domain.dims(), Decomp::cubic(k));
-        group.bench_with_input(BenchmarkId::new("plain", format!("{k}^3")), &decomp, |b, d| {
-            b.iter(|| binning::bin_points(&domain, d, &points))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("plain", format!("{k}^3")),
+            &decomp,
+            |b, d| b.iter(|| binning::bin_points(&domain, d, &points)),
+        );
         group.bench_with_input(
             BenchmarkId::new("replicated", format!("{k}^3")),
             &decomp,

@@ -37,7 +37,11 @@ fn bench_reduce(c: &mut Criterion) {
     for p in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("replicas", p), &p, |b, &p| {
             b.iter_with_setup(
-                || (0..p).map(|_| Grid3::<f32>::zeros_touched(dims)).collect::<Vec<_>>(),
+                || {
+                    (0..p)
+                        .map(|_| Grid3::<f32>::zeros_touched(dims))
+                        .collect::<Vec<_>>()
+                },
                 reduce::reduce,
             )
         });

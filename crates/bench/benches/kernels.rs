@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use stkde_kernels::{Epanechnikov, PaperLiteral, Quartic, SpaceTimeKernel, TruncatedGaussian, Uniform};
+use stkde_kernels::{
+    Epanechnikov, PaperLiteral, Quartic, SpaceTimeKernel, TruncatedGaussian, Uniform,
+};
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_eval");
@@ -16,7 +18,11 @@ fn bench_kernels(c: &mut Criterion) {
     let offsets: Vec<(f64, f64, f64)> = (0..512)
         .map(|i| {
             let f = i as f64 / 512.0;
-            (2.0 * f - 1.0, 1.0 - 2.0 * ((i * 7) % 512) as f64 / 512.0, 2.0 * f - 1.0)
+            (
+                2.0 * f - 1.0,
+                1.0 - 2.0 * ((i * 7) % 512) as f64 / 512.0,
+                2.0 * f - 1.0,
+            )
         })
         .collect();
 

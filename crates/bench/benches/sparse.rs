@@ -21,10 +21,7 @@ fn sparse_instance() -> (Problem, Vec<Point>) {
 fn dense_instance() -> (Problem, Vec<Point>) {
     let domain = Domain::from_dims(GridDims::new(48, 48, 32));
     let points = synth::uniform(2000, domain.extent(), 4).into_vec();
-    (
-        Problem::new(domain, Bandwidth::new(6.0, 4.0), 2000),
-        points,
-    )
+    (Problem::new(domain, Bandwidth::new(6.0, 4.0), 2000), points)
 }
 
 fn bench_backends(c: &mut Criterion) {

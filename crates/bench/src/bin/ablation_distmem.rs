@@ -16,8 +16,8 @@
 //! mirroring the paper's DD-vs-DR trade-off in distributed form.
 
 use stkde_bench::{prepare_instances, runner, HarnessOpts, Table};
-use stkde_core::distmem::{self, DistStrategy};
 use stkde_comm::{CommCost, ModeledRun};
+use stkde_core::distmem::{self, DistStrategy};
 use stkde_kernels::Epanechnikov;
 
 fn main() {
@@ -45,14 +45,9 @@ fn main() {
                     row.push("n/a".into());
                     continue;
                 }
-                let r = distmem::run::<f32, _>(
-                    &p.problem,
-                    &Epanechnikov,
-                    &p.points,
-                    ranks,
-                    strategy,
-                )
-                .expect("valid rank count");
+                let r =
+                    distmem::run::<f32, _>(&p.problem, &Epanechnikov, &p.points, ranks, strategy)
+                        .expect("valid rank count");
                 // Work-modeled compute: rank share of rasterized points
                 // times the sequential compute rate.
                 let compute: Vec<f64> = r

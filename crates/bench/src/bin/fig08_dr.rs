@@ -38,7 +38,10 @@ fn main() {
             };
             row.push(cell);
         }
-        row.push(speedup(Some(sim::dr_speedup(&seq.timings, opts.sim_threads))));
+        row.push(speedup(Some(sim::dr_speedup(
+            &seq.timings,
+            opts.sim_threads,
+        ))));
         table.row(row);
     }
     table.print();

@@ -35,15 +35,18 @@ fn main() {
         for &k in &DECOMP_SWEEP {
             let decomp = Decomp::cubic(k);
             let (t, _) = time_best(opts.reps, || {
-                runner::measure(p, &points, Algorithm::PbSymDd { decomp }, threads)
-                    .expect("DD run")
+                runner::measure(p, &points, Algorithm::PbSymDd { decomp }, threads).expect("DD run")
             });
             // Simulated P-processor column: per-subdomain task weights
             // from the replicated binning, scaled to the measured serial
             // compute inflated by the replication overhead.
             let decomposition = Decomposition::new(p.problem.domain.dims(), decomp);
-            let bins =
-                binning::bin_points_replicated(&p.problem.domain, &decomposition, &p.points, p.problem.vbw);
+            let bins = binning::bin_points_replicated(
+                &p.problem.domain,
+                &decomposition,
+                &p.points,
+                p.problem.vbw,
+            );
             let weights: Vec<f64> = bins.counts().iter().map(|&c| c as f64).collect();
             let rep = dd::replication_factor(&p.problem, &p.points, decomp);
             let tasks = sim::weights_to_seconds(&weights, seq.compute_secs() * rep);

@@ -36,8 +36,7 @@ fn main() {
         for &k in &DECOMP_SWEEP {
             let decomp = Decomp::cubic(k);
             let (t, _) = time_best(opts.reps, || {
-                runner::measure(p, &points, Algorithm::PbSymPd { decomp }, threads)
-                    .expect("PD run")
+                runner::measure(p, &points, Algorithm::PbSymPd { decomp }, threads).expect("PD run")
             });
             // Simulated phased execution: per-class task lists.
             let eff = pd::effective_decomposition(&p.problem, decomp);
@@ -52,7 +51,12 @@ fn main() {
             let total_w: f64 = class_weights.iter().flatten().sum();
             let classes: Vec<Vec<f64>> = class_weights
                 .iter()
-                .map(|c| sim::weights_to_seconds(c, seq.compute_secs() * c.iter().sum::<f64>() / total_w.max(1e-30)))
+                .map(|c| {
+                    sim::weights_to_seconds(
+                        c,
+                        seq.compute_secs() * c.iter().sum::<f64>() / total_w.max(1e-30),
+                    )
+                })
                 .collect();
             let s_sim = sim::pd_phased_speedup(seq.init_secs(), &classes, opts.sim_threads);
             row.push(format!(

@@ -42,8 +42,13 @@ fn main() {
                     // Simulated column from the expanded DAG, weights
                     // rescaled so the un-replicated work matches the
                     // measured serial compute time.
-                    let rep_plan =
-                        plan(&p.problem, &p.points, decomp, opts.sim_threads, Ordering::Lexicographic);
+                    let rep_plan = plan(
+                        &p.problem,
+                        &p.points,
+                        decomp,
+                        opts.sim_threads,
+                        Ordering::Lexicographic,
+                    );
                     let base_work = rep_plan.base.dag.total_work();
                     let scale = seq.compute_secs() / base_work.max(1e-30);
                     let mut dag = rep_plan.expanded.dag.clone();

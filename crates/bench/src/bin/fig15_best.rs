@@ -49,12 +49,15 @@ fn main() {
                         Err(_) => None,
                     }
                 })
-                .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+                .fold(None, |acc: Option<f64>, s| {
+                    Some(acc.map_or(s, |a| a.max(s)))
+                })
         };
 
         let dr = {
-            let (t, outcome) =
-                time_best(opts.reps, || runner::measure(p, &points, Algorithm::PbSymDr, threads));
+            let (t, outcome) = time_best(opts.reps, || {
+                runner::measure(p, &points, Algorithm::PbSymDr, threads)
+            });
             match outcome {
                 Ok(_) => Some(seq.total / t),
                 Err(_) => None,

@@ -32,14 +32,7 @@ fn main() {
     t.print();
 
     println!("\n== Scaled instances used by this harness run ==\n");
-    let mut t = Table::new(&[
-        "Instance",
-        "scale",
-        "n'",
-        "G'",
-        "Size'(MiB)",
-        "updates(G)",
-    ]);
+    let mut t = Table::new(&["Instance", "scale", "n'", "G'", "Size'(MiB)", "updates(G)"]);
     for p in prepare_instances(&opts) {
         t.row(vec![
             p.name(),

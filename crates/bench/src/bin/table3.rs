@@ -17,28 +17,18 @@ const VB_DEC_LIMIT: f64 = 2e10;
 fn main() {
     let opts = HarnessOpts::from_args();
     let prepared = prepare_instances(&opts);
-    println!(
-        "== Table 3: sequential algorithm runtimes (seconds; scale per instance below) ==\n"
-    );
+    println!("== Table 3: sequential algorithm runtimes (seconds; scale per instance below) ==\n");
 
     let mut t = Table::new(&[
-        "Instance",
-        "VB",
-        "VB-DEC",
-        "PB",
-        "PB-DISK",
-        "PB-BAR",
-        "PB-SYM",
-        "speedup",
+        "Instance", "VB", "VB-DEC", "PB", "PB-DISK", "PB-BAR", "PB-SYM", "speedup",
     ]);
     for p in &prepared {
         let points = runner::pointset(p);
         let n = p.points.len() as f64;
         let vb_cost = p.problem.init_cost() * n;
         // VB-DEC examines ~3³ blocks of candidates per voxel.
-        let vbdec_cost = p.problem.init_cost()
-            + p.problem.compute_cost() * 3.0
-            + p.problem.init_cost().max(1.0);
+        let vbdec_cost =
+            p.problem.init_cost() + p.problem.compute_cost() * 3.0 + p.problem.init_cost().max(1.0);
 
         let run = |alg: Algorithm, limit: f64, cost: f64| -> Option<f64> {
             if cost > limit {

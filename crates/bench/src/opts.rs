@@ -77,10 +77,8 @@ impl HarnessOpts {
         let mut opts = Self::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match arg.as_str() {
                 "--help" | "-h" => return Err("help".into()),
                 "--scale" => {

@@ -83,7 +83,11 @@ impl<P: Payload> Comm<P> {
     /// Panics if `to` is out of range or the destination rank has already
     /// finished (its inbox is closed) — both are protocol bugs.
     pub fn send(&mut self, to: usize, tag: u32, payload: P) {
-        assert!(to < self.size, "rank {to} out of range (size {})", self.size);
+        assert!(
+            to < self.size,
+            "rank {to} out of range (size {})",
+            self.size
+        );
         let env = Envelope {
             from: self.rank,
             tag,

@@ -293,14 +293,25 @@ mod tests {
         // 30 points in a tight cluster + 3 isolated points far away.
         let domain = Domain::from_dims(GridDims::new(60, 60, 20));
         let mut pts: Vec<Point> = (0..30)
-            .map(|i| Point::new(10.0 + (i % 6) as f64 * 0.3, 10.0 + (i / 6) as f64 * 0.3, 10.0))
+            .map(|i| {
+                Point::new(
+                    10.0 + (i % 6) as f64 * 0.3,
+                    10.0 + (i / 6) as f64 * 0.3,
+                    10.0,
+                )
+            })
             .collect();
         pts.push(Point::new(50.0, 50.0, 5.0));
         pts.push(Point::new(45.0, 8.0, 15.0));
         pts.push(Point::new(8.0, 50.0, 3.0));
         let base = Bandwidth::new(4.0, 3.0);
-        let bws =
-            silverman_bandwidths(&domain, base, &Epanechnikov, &pts, AdaptiveParams::default());
+        let bws = silverman_bandwidths(
+            &domain,
+            base,
+            &Epanechnikov,
+            &pts,
+            AdaptiveParams::default(),
+        );
         let cluster_mean: f64 = bws[..30].iter().map(|b| b.hs).sum::<f64>() / 30.0;
         let isolated_mean: f64 = bws[30..].iter().map(|b| b.hs).sum::<f64>() / 3.0;
         assert!(
@@ -347,7 +358,13 @@ mod tests {
         // Interior points with normalized kernels: discrete mass ≈ 1.
         let domain = Domain::from_dims(GridDims::new(64, 64, 32));
         let points: Vec<Point> = (0..20)
-            .map(|i| Point::new(24.0 + (i % 5) as f64 * 2.0, 24.0 + (i / 5) as f64 * 2.0, 16.0))
+            .map(|i| {
+                Point::new(
+                    24.0 + (i % 5) as f64 * 2.0,
+                    24.0 + (i / 5) as f64 * 2.0,
+                    16.0,
+                )
+            })
             .collect();
         let bws: Vec<Bandwidth> = (0..20)
             .map(|i| Bandwidth::new(3.0 + (i % 4) as f64, 3.0 + (i % 3) as f64))

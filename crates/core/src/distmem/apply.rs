@@ -82,7 +82,15 @@ mod tests {
         };
         let mut scratch = SlabScratch::default();
         for p in &points {
-            apply_point_slab(&mut slab, t_off, &problem, &Epanechnikov, p, clip, &mut scratch);
+            apply_point_slab(
+                &mut slab,
+                t_off,
+                &problem,
+                &Epanechnikov,
+                p,
+                clip,
+                &mut scratch,
+            );
         }
         for t in t_off..t_end {
             for y in 0..16 {

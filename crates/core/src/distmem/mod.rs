@@ -280,7 +280,10 @@ mod tests {
         }
         .generate(n, domain.extent(), seed)
         .into_vec();
-        (Problem::new(domain, Bandwidth::new(3.0, ht), points.len()), points)
+        (
+            Problem::new(domain, Bandwidth::new(3.0, ht), points.len()),
+            points,
+        )
     }
 
     #[test]
@@ -416,8 +419,7 @@ mod tests {
     #[test]
     fn empty_pointset_yields_zero_grid() {
         let (problem, _) = setup(0, 2.0, 28);
-        let r = run::<f64, _>(&problem, &Epanechnikov, &[], 3, DistStrategy::HaloExchange)
-            .unwrap();
+        let r = run::<f64, _>(&problem, &Epanechnikov, &[], 3, DistStrategy::HaloExchange).unwrap();
         assert!(r.grid.as_slice().iter().all(|&v| v == 0.0));
         assert_eq!(r.replication_factor(0), 1.0);
     }

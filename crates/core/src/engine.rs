@@ -224,15 +224,9 @@ impl<K: SpaceTimeKernel> Stkde<K> {
             Algorithm::PbDisk => Ok(pb_disk::run(&problem, &self.kernel, pts)),
             Algorithm::PbBar => Ok(pb_bar::run(&problem, &self.kernel, pts)),
             Algorithm::PbSym => Ok(pb_sym::run(&problem, &self.kernel, pts)),
-            Algorithm::PbSymDr => {
-                dr::run(&problem, &self.kernel, pts, threads, self.memory_limit)
-            }
-            Algorithm::PbSymDd { decomp } => {
-                dd::run(&problem, &self.kernel, pts, decomp, threads)
-            }
-            Algorithm::PbSymPd { decomp } => {
-                pd::run(&problem, &self.kernel, pts, decomp, threads)
-            }
+            Algorithm::PbSymDr => dr::run(&problem, &self.kernel, pts, threads, self.memory_limit),
+            Algorithm::PbSymDd { decomp } => dd::run(&problem, &self.kernel, pts, decomp, threads),
+            Algorithm::PbSymPd { decomp } => pd::run(&problem, &self.kernel, pts, decomp, threads),
             Algorithm::PbSymPdSched { decomp } => pd_sched::run(
                 &problem,
                 &self.kernel,

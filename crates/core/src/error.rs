@@ -53,7 +53,10 @@ pub fn default_memory_budget() -> usize {
     };
     for line in info.lines() {
         if let Some(rest) = line.strip_prefix("MemAvailable:") {
-            if let Some(kb) = rest.split_whitespace().next().and_then(|v| v.parse::<usize>().ok())
+            if let Some(kb) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
             {
                 return kb * 1024;
             }

@@ -154,7 +154,11 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
     /// Materialize the normalized cube (equals a batch `PB-SYM` over the
     /// live points, up to float summation order).
     pub fn snapshot(&self) -> Grid3<S> {
-        let inv_n = if self.n == 0 { 0.0 } else { 1.0 / self.n as f64 };
+        let inv_n = if self.n == 0 {
+            0.0
+        } else {
+            1.0 / self.n as f64
+        };
         let data = self
             .grid
             .as_slice()

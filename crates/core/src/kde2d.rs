@@ -192,12 +192,7 @@ mod tests {
     #[test]
     fn boundary_points_are_clipped_not_dropped() {
         let domain = domain();
-        let heat = run::<f64, _>(
-            &domain,
-            5.0,
-            &Epanechnikov,
-            &[Point::new(0.1, 0.1, 0.0)],
-        );
+        let heat = run::<f64, _>(&domain, 5.0, &Epanechnikov, &[Point::new(0.1, 0.1, 0.0)]);
         assert!(heat.get(0, 0, 0) > 0.0);
         let mass: f64 = heat.as_slice().iter().sum();
         assert!(mass < 1.0, "clipped kernel must lose mass: {mass}");

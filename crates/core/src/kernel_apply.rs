@@ -302,10 +302,13 @@ mod tests {
         let domain = Domain::from_dims(GridDims::new(24, 24, 12));
         let points = vec![
             Point::new(12.0, 12.0, 6.0),
-            Point::new(2.0, 3.0, 1.0),  // near corner: tests clipping
+            Point::new(2.0, 3.0, 1.0),    // near corner: tests clipping
             Point::new(23.5, 23.5, 11.5), // at far corner
         ];
-        (Problem::new(domain, Bandwidth::new(3.0, 2.0), points.len()), points)
+        (
+            Problem::new(domain, Bandwidth::new(3.0, 2.0), points.len()),
+            points,
+        )
     }
 
     fn run(which: PointKernel) -> Grid3<f64> {
@@ -381,7 +384,11 @@ mod tests {
         );
         for (x, y, t) in grid.dims().iter() {
             if !clip.contains(x, y, t) {
-                assert_eq!(grid.get(x, y, t), 0.0, "write outside clip at ({x},{y},{t})");
+                assert_eq!(
+                    grid.get(x, y, t),
+                    0.0,
+                    "write outside clip at ({x},{y},{t})"
+                );
             }
         }
     }
@@ -409,8 +416,22 @@ mod tests {
         clip_l.x1 = 13;
         let mut clip_r = VoxelRange::full(dims);
         clip_r.x0 = 13;
-        apply_points_seq(PointKernel::Sym, &mut left, &problem, &Epanechnikov, &points, clip_l);
-        apply_points_seq(PointKernel::Sym, &mut left, &problem, &Epanechnikov, &points, clip_r);
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut left,
+            &problem,
+            &Epanechnikov,
+            &points,
+            clip_l,
+        );
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut left,
+            &problem,
+            &Epanechnikov,
+            &points,
+            clip_r,
+        );
         assert!(full.max_rel_diff(&left, 1e-14) < 1e-10);
     }
 

@@ -44,9 +44,9 @@ pub mod adaptive;
 pub mod algorithms;
 pub mod distmem;
 pub mod engine;
+pub mod error;
 pub mod incremental;
 pub mod kde2d;
-pub mod error;
 pub mod kernel_apply;
 pub mod model;
 pub mod parallel;

@@ -90,8 +90,8 @@ impl CostModel {
     pub fn predict_dd(&self, problem: &Problem, decomp: Decomp, threads: usize) -> f64 {
         let init = problem.init_cost() * self.init_per_voxel / self.mem_scale(threads);
         let rep = self.dd_replication(problem, decomp);
-        let compute = rep * problem.compute_cost() * self.update_per_voxel * self.imbalance
-            / threads as f64;
+        let compute =
+            rep * problem.compute_cost() * self.update_per_voxel * self.imbalance / threads as f64;
         init + compute
     }
 

@@ -34,7 +34,8 @@ pub fn run<S: Scalar, K: SpaceTimeKernel>(
         let mut sw = Stopwatch::start();
         // Replicated binning: a point goes to every subdomain its cylinder
         // intersects (Algorithm 5's intersection test).
-        let bins = binning::bin_points_replicated(&problem.domain, &decomposition, points, problem.vbw);
+        let bins =
+            binning::bin_points_replicated(&problem.domain, &decomposition, points, problem.vbw);
         let bin = sw.lap();
 
         let mut grid = Grid3::zeros_parallel(dims);
@@ -58,7 +59,15 @@ pub fn run<S: Scalar, K: SpaceTimeKernel>(
                         // disjoint (Decomposition partitions the grid), so
                         // concurrent tasks never touch the same voxel.
                         unsafe {
-                            apply_point(PointKernel::Sym, shared, problem, kernel, p, clip, scratch);
+                            apply_point(
+                                PointKernel::Sym,
+                                shared,
+                                problem,
+                                kernel,
+                                p,
+                                clip,
+                                scratch,
+                            );
                         }
                     }
                 },
@@ -107,14 +116,9 @@ mod tests {
         let (seq, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &points);
         for k in [1usize, 2, 4, 8] {
             for threads in [1usize, 2, 4] {
-                let (par, _) = run::<f64, _>(
-                    &problem,
-                    &Epanechnikov,
-                    &points,
-                    Decomp::cubic(k),
-                    threads,
-                )
-                .unwrap();
+                let (par, _) =
+                    run::<f64, _>(&problem, &Epanechnikov, &points, Decomp::cubic(k), threads)
+                        .unwrap();
                 assert!(
                     seq.max_rel_diff(&par, 1e-13) < 1e-9,
                     "decomp {k}^3, threads {threads} diverges"
@@ -127,14 +131,8 @@ mod tests {
     fn anisotropic_decomposition_works() {
         let (problem, points) = setup(40, 8);
         let (seq, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &points);
-        let (par, _) = run::<f64, _>(
-            &problem,
-            &Epanechnikov,
-            &points,
-            Decomp::new(4, 1, 2),
-            2,
-        )
-        .unwrap();
+        let (par, _) =
+            run::<f64, _>(&problem, &Epanechnikov, &points, Decomp::new(4, 1, 2), 2).unwrap();
         assert!(seq.max_rel_diff(&par, 1e-13) < 1e-9);
     }
 

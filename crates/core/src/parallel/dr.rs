@@ -113,7 +113,9 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            StkdeError::MemoryLimit { required, limit, .. } => {
+            StkdeError::MemoryLimit {
+                required, limit, ..
+            } => {
                 assert_eq!(required, 8 * grid_bytes);
                 assert_eq!(limit, 4 * grid_bytes);
             }

@@ -71,10 +71,7 @@ mod tests {
 
     #[test]
     fn pool_zero_threads_rejected() {
-        assert!(matches!(
-            make_pool(0),
-            Err(StkdeError::InvalidConfig(_))
-        ));
+        assert!(matches!(make_pool(0), Err(StkdeError::InvalidConfig(_))));
     }
 
     #[test]

@@ -55,21 +55,31 @@ pub fn run<S: Scalar, K: SpaceTimeKernel>(
             // Eight phases, each a parallel-for (the paper's eight OpenMP
             // `parallel for` constructs).
             for class in &classes {
-                class.par_iter().for_each_init(Scratch::default, |scratch, &sd| {
-                    let id = stkde_grid::SubdomainId(sd);
-                    for &pi in bins.points_of(id) {
-                        let p = &points[pi as usize];
-                        // SAFETY: subdomains in one parity class are
-                        // pairwise non-adjacent, and the adjusted
-                        // decomposition guarantees ≥ 2·bandwidth widths, so
-                        // their cylinder halos are disjoint (validated by
-                        // `prop_nonadjacent_halos_disjoint_under_adjustment`
-                        // and the WriteAudit integration tests).
-                        unsafe {
-                            apply_point(PointKernel::Sym, shared, problem, kernel, p, full, scratch);
+                class
+                    .par_iter()
+                    .for_each_init(Scratch::default, |scratch, &sd| {
+                        let id = stkde_grid::SubdomainId(sd);
+                        for &pi in bins.points_of(id) {
+                            let p = &points[pi as usize];
+                            // SAFETY: subdomains in one parity class are
+                            // pairwise non-adjacent, and the adjusted
+                            // decomposition guarantees ≥ 2·bandwidth widths, so
+                            // their cylinder halos are disjoint (validated by
+                            // `prop_nonadjacent_halos_disjoint_under_adjustment`
+                            // and the WriteAudit integration tests).
+                            unsafe {
+                                apply_point(
+                                    PointKernel::Sym,
+                                    shared,
+                                    problem,
+                                    kernel,
+                                    p,
+                                    full,
+                                    scratch,
+                                );
+                            }
                         }
-                    }
-                });
+                    });
             }
         }
         let compute = sw.lap();
@@ -113,14 +123,9 @@ mod tests {
         let (seq, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &points);
         for k in [1usize, 2, 4, 16] {
             for threads in [1usize, 2, 4] {
-                let (par, _) = run::<f64, _>(
-                    &problem,
-                    &Epanechnikov,
-                    &points,
-                    Decomp::cubic(k),
-                    threads,
-                )
-                .unwrap();
+                let (par, _) =
+                    run::<f64, _>(&problem, &Epanechnikov, &points, Decomp::cubic(k), threads)
+                        .unwrap();
                 assert!(
                     seq.max_rel_diff(&par, 1e-13) < 1e-9,
                     "k={k} threads={threads}"

@@ -154,7 +154,11 @@ pub fn execute<S: Scalar, K: SpaceTimeKernel>(
                         }
                     }
                 }
-                RepNode::Replica { task: v, part, parts } => {
+                RepNode::Replica {
+                    task: v,
+                    part,
+                    parts,
+                } => {
                     let id = SubdomainId(v);
                     let halo = base.decomposition.halo(id, problem.vbw);
                     let sub_domain = problem.domain.subdomain(halo);
@@ -352,7 +356,13 @@ mod tests {
                 // A 1³ decomposition may also legitimately skip replication
                 // (single task ⇒ path == total work ⇒ planner gives up when
                 // merge cost dominates); accept but require trivial plan.
-                let p = plan(&problem, &points, Decomp::cubic(1), 4, Ordering::Lexicographic);
+                let p = plan(
+                    &problem,
+                    &points,
+                    Decomp::cubic(1),
+                    4,
+                    Ordering::Lexicographic,
+                );
                 assert!(p.replicas.iter().all(|&r| r <= 4));
             }
             Err(other) => panic!("unexpected error {other}"),

@@ -122,7 +122,15 @@ pub fn execute<S: Scalar, K: SpaceTimeKernel>(
                 // two concurrently running tasks are non-adjacent; the
                 // adjusted decomposition makes their halos disjoint.
                 unsafe {
-                    apply_point(PointKernel::Sym, shared, problem, kernel, p, full, &mut scratch);
+                    apply_point(
+                        PointKernel::Sym,
+                        shared,
+                        problem,
+                        kernel,
+                        p,
+                        full,
+                        &mut scratch,
+                    );
                 }
             }
         });

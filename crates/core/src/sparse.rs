@@ -245,7 +245,11 @@ mod tests {
             run_with_blocks::<f32, _>(&problem, &Epanechnikov, &points, BlockDims::new(8, 8, 8));
         // Cylinder bounding box is 7×7×5 voxels; at 8³ blocks it can touch
         // at most 2×2×2 block corners.
-        assert!(sparse.allocated_blocks() <= 8, "{}", sparse.allocated_blocks());
+        assert!(
+            sparse.allocated_blocks() <= 8,
+            "{}",
+            sparse.allocated_blocks()
+        );
         assert!(sparse.occupancy() < 0.001);
     }
 
@@ -319,14 +323,7 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         let (problem, points) = setup(4, 16);
-        assert!(run_dr::<f64, _>(
-            &problem,
-            &Epanechnikov,
-            &points,
-            0,
-            BlockDims::DEFAULT
-        )
-        .is_err());
+        assert!(run_dr::<f64, _>(&problem, &Epanechnikov, &points, 0, BlockDims::DEFAULT).is_err());
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Bins {
 /// (the `PB-SYM-PD` discipline). Runs the point→subdomain map in parallel,
 /// then fills the lists with a counting sort.
 pub fn bin_points(domain: &Domain, decomp: &Decomposition, points: &[Point]) -> Bins {
-    assert_eq!(domain.dims(), decomp.dims(), "domain/decomposition mismatch");
+    assert_eq!(
+        domain.dims(),
+        decomp.dims(),
+        "domain/decomposition mismatch"
+    );
     let ids: Vec<u32> = points
         .par_iter()
         .map(|p| {
@@ -95,7 +99,11 @@ pub fn bin_points_replicated(
     points: &[Point],
     vbw: VoxelBandwidth,
 ) -> Bins {
-    assert_eq!(domain.dims(), decomp.dims(), "domain/decomposition mismatch");
+    assert_eq!(
+        domain.dims(),
+        decomp.dims(),
+        "domain/decomposition mismatch"
+    );
     // Two passes: compute target lists per point in parallel, then scatter.
     let targets: Vec<Vec<SubdomainId>> = points
         .par_iter()
@@ -183,9 +191,14 @@ mod tests {
     #[test]
     fn interior_point_with_small_bandwidth_not_replicated() {
         let (domain, decomp) = setup(16, 16, 16, 2); // subdomains 8 wide
-        // Center of subdomain (0,0,0): voxel (3..4); cylinder ±1 stays inside.
+                                                     // Center of subdomain (0,0,0): voxel (3..4); cylinder ±1 stays inside.
         let points = PointSet::from_vec(vec![Point::new(3.5, 3.5, 3.5)]);
-        let bins = bin_points_replicated(&domain, &decomp, points.as_slice(), VoxelBandwidth::new(1, 1));
+        let bins = bin_points_replicated(
+            &domain,
+            &decomp,
+            points.as_slice(),
+            VoxelBandwidth::new(1, 1),
+        );
         assert_eq!(bins.total_assignments(), 1);
     }
 
@@ -193,7 +206,12 @@ mod tests {
     fn boundary_point_replicates_to_neighbors() {
         let (domain, decomp) = setup(16, 16, 16, 2); // boundary at 8
         let points = PointSet::from_vec(vec![Point::new(8.2, 3.0, 3.0)]); // voxel x=8
-        let bins = bin_points_replicated(&domain, &decomp, points.as_slice(), VoxelBandwidth::new(2, 1));
+        let bins = bin_points_replicated(
+            &domain,
+            &decomp,
+            points.as_slice(),
+            VoxelBandwidth::new(2, 1),
+        );
         // Cylinder spans x ∈ [6, 10], crossing the x-boundary: 2 subdomains.
         assert_eq!(bins.total_assignments(), 2);
         assert!(bins.replication_factor() > 1.0);
@@ -213,11 +231,25 @@ mod tests {
         let (domain, decomp) = setup(10, 10, 10, 3);
         let points = PointSet::from_vec(
             (0..40)
-                .map(|i| Point::new((i % 10) as f64, ((i * 3) % 10) as f64, ((i * 7) % 10) as f64))
+                .map(|i| {
+                    Point::new(
+                        (i % 10) as f64,
+                        ((i * 3) % 10) as f64,
+                        ((i * 7) % 10) as f64,
+                    )
+                })
                 .collect(),
         );
-        let bins = bin_points_replicated(&domain, &decomp, points.as_slice(), VoxelBandwidth::new(1, 1));
-        assert_eq!(bins.counts().iter().sum::<usize>(), bins.total_assignments());
+        let bins = bin_points_replicated(
+            &domain,
+            &decomp,
+            points.as_slice(),
+            VoxelBandwidth::new(1, 1),
+        );
+        assert_eq!(
+            bins.counts().iter().sum::<usize>(),
+            bins.total_assignments()
+        );
         assert!(bins.max_count() <= bins.total_assignments());
     }
 

@@ -48,7 +48,14 @@ pub struct Instance {
 }
 
 impl Instance {
-    fn new(dataset: DatasetKind, code: &str, n: usize, dims: (usize, usize, usize), hs: usize, ht: usize) -> Self {
+    fn new(
+        dataset: DatasetKind,
+        code: &str,
+        n: usize,
+        dims: (usize, usize, usize),
+        hs: usize,
+        ht: usize,
+    ) -> Self {
         Self {
             dataset,
             code: code.to_string(),

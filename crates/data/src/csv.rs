@@ -52,9 +52,8 @@ pub fn read_points<R: Read>(reader: R) -> Result<PointSet, CsvError> {
             Ok(p) => points.push(p),
             Err(msg) if i == 0 => {
                 // Permit a header row.
-                let looks_like_header = trimmed
-                    .split(',')
-                    .all(|f| f.trim().parse::<f64>().is_err());
+                let looks_like_header =
+                    trimmed.split(',').all(|f| f.trim().parse::<f64>().is_err());
                 if !looks_like_header {
                     return Err(CsvError::Parse {
                         line: i + 1,
@@ -117,10 +116,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_memory() {
-        let ps = PointSet::from_vec(vec![
-            Point::new(1.5, -2.0, 3.25),
-            Point::new(0.0, 0.0, 0.0),
-        ]);
+        let ps = PointSet::from_vec(vec![Point::new(1.5, -2.0, 3.25), Point::new(0.0, 0.0, 0.0)]);
         let mut buf = Vec::new();
         write_points(&ps, &mut buf).unwrap();
         let back = read_points(&buf[..]).unwrap();

@@ -90,7 +90,9 @@ impl ClusterSpec {
                 )
             })
             .collect();
-        let weights: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-self.weight_tail)).collect();
+        let weights: Vec<f64> = (0..k)
+            .map(|i| ((i + 1) as f64).powf(-self.weight_tail))
+            .collect();
         let total_w: f64 = weights.iter().sum();
         let cdf: Vec<f64> = weights
             .iter()
@@ -146,7 +148,8 @@ impl ClusterSpec {
                 let max_i = 1.0 + amplitude;
                 loop {
                     let tau: f64 = rng.random();
-                    let i = 1.0 + amplitude * (2.0 * std::f64::consts::PI * tau * cycles + phase).sin();
+                    let i =
+                        1.0 + amplitude * (2.0 * std::f64::consts::PI * tau * cycles + phase).sin();
                     if rng.random::<f64>() * max_i <= i {
                         return extent.min[2] + tau * st;
                     }

@@ -175,7 +175,9 @@ impl Decomposition {
     /// bandwidth and clipped to the grid. Points *in* the subdomain can only
     /// write voxels *in* the halo.
     pub fn halo(&self, id: SubdomainId, vbw: VoxelBandwidth) -> VoxelRange {
-        self.voxel_range(id).expanded(vbw.hs, vbw.ht).clipped(self.dims)
+        self.voxel_range(id)
+            .expanded(vbw.hs, vbw.ht)
+            .clipped(self.dims)
     }
 
     /// Iterate over all subdomain ids.
@@ -198,8 +200,7 @@ impl Decomposition {
         let (ax0, ax1) = cells(&self.bx, range.x0, range.x1);
         let (ay0, ay1) = cells(&self.by, range.y0, range.y1);
         let (at0, at1) = cells(&self.bt, range.t0, range.t1);
-        let mut out =
-            Vec::with_capacity((ax1 - ax0 + 1) * (ay1 - ay0 + 1) * (at1 - at0 + 1));
+        let mut out = Vec::with_capacity((ax1 - ax0 + 1) * (ay1 - ay0 + 1) * (at1 - at0 + 1));
         for ic in at0..=at1 {
             for ib in ay0..=ay1 {
                 for ia in ax0..=ax1 {

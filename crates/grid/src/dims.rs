@@ -24,7 +24,10 @@ impl GridDims {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(gx: usize, gy: usize, gt: usize) -> Self {
-        assert!(gx > 0 && gy > 0 && gt > 0, "grid dimensions must be non-zero");
+        assert!(
+            gx > 0 && gy > 0 && gt > 0,
+            "grid dimensions must be non-zero"
+        );
         Self { gx, gy, gt }
     }
 

@@ -37,7 +37,11 @@ pub fn write_slice_pgm<S: Scalar>(
     let dims = grid.dims();
     let mut buf = Vec::with_capacity(dims.gx * dims.gy + 64);
     write!(buf, "P5\n{} {}\n255\n", dims.gx, dims.gy)?;
-    let scale = if max_value > 0.0 { 255.0 / max_value } else { 0.0 };
+    let scale = if max_value > 0.0 {
+        255.0 / max_value
+    } else {
+        0.0
+    };
     for y in 0..dims.gy {
         for &v in grid.row(y, t, 0, dims.gx) {
             let g = (v.to_f64() * scale).clamp(0.0, 255.0) as u8;
@@ -88,7 +92,12 @@ pub fn write_vtk<S: Scalar, W: Write>(
 
 /// Render the time slice `t` as ASCII art, downsampled to at most
 /// `max_cols × max_rows` characters. Darker characters = higher density.
-pub fn ascii_slice<S: Scalar>(grid: &Grid3<S>, t: usize, max_cols: usize, max_rows: usize) -> String {
+pub fn ascii_slice<S: Scalar>(
+    grid: &Grid3<S>,
+    t: usize,
+    max_cols: usize,
+    max_rows: usize,
+) -> String {
     const RAMP: &[u8] = b" .:-=+*#%@";
     let dims = grid.dims();
     let cols = dims.gx.min(max_cols.max(1));
@@ -203,7 +212,10 @@ mod tests {
         assert!(s.contains("SPACING 1 1 0.5"));
         assert!(s.contains("POINT_DATA 24"));
         let data = s.split("LOOKUP_TABLE default\n").nth(1).unwrap();
-        let values: Vec<f32> = data.split_whitespace().map(|v| v.parse().unwrap()).collect();
+        let values: Vec<f32> = data
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
         assert_eq!(values.len(), 24);
         // Storage order: (0,0,1) is index 12, (3,2,1) is index 23.
         assert_eq!(values[12], 1.0);

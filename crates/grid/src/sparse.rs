@@ -385,8 +385,7 @@ mod tests {
     #[test]
     fn add_row_spans_block_boundaries() {
         let dims = GridDims::new(70, 10, 10);
-        let mut g: SparseGrid3<f64> =
-            SparseGrid3::with_blocks(dims, BlockDims::new(32, 8, 8));
+        let mut g: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(32, 8, 8));
         let vals: Vec<f64> = (0..70).map(|i| i as f64).collect();
         g.add_row_f64(3, 4, 0, &vals);
         // The row crosses 3 block columns.
@@ -409,8 +408,7 @@ mod tests {
     #[test]
     fn to_dense_roundtrip() {
         let dims = GridDims::new(50, 20, 12);
-        let mut g: SparseGrid3<f64> =
-            SparseGrid3::with_blocks(dims, BlockDims::new(16, 8, 4));
+        let mut g: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(16, 8, 4));
         g.add(0, 0, 0, 1.0);
         g.add(49, 19, 11, 2.0); // edge block (partially outside)
         g.add(25, 10, 6, 3.0);
@@ -471,7 +469,11 @@ mod tests {
             t0: 7,
             t1: 9, // straddles t-blocks 0 and 1
         };
-        assert_eq!(g.blocks_touching(r), 4, "2 x-blocks x 1 y-block x 2 t-blocks");
+        assert_eq!(
+            g.blocks_touching(r),
+            4,
+            "2 x-blocks x 1 y-block x 2 t-blocks"
+        );
         assert_eq!(g.blocks_touching(VoxelRange::empty()), 0);
     }
 

@@ -32,8 +32,8 @@ pub mod polynomial;
 pub mod traits;
 
 pub use epanechnikov::Epanechnikov;
-pub use lut::Tabulated;
 pub use gaussian::TruncatedGaussian;
+pub use lut::Tabulated;
 pub use paper::PaperLiteral;
 pub use polynomial::{Quartic, Triweight, Uniform};
 pub use traits::SpaceTimeKernel;

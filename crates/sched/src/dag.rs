@@ -65,10 +65,7 @@ impl TaskDag {
             succs,
             weights,
         };
-        assert!(
-            dag.topo_order().is_some(),
-            "edge list contains a cycle"
-        );
+        assert!(dag.topo_order().is_some(), "edge list contains a cycle");
         dag
     }
 

@@ -71,7 +71,8 @@ impl RepPlan {
     pub fn extra_tasks(&self) -> usize {
         self.replicas
             .iter()
-            .filter(|&&r| r > 1).copied() // (r replicas - 1 original) + 1 merge
+            .filter(|&&r| r > 1)
+            .copied() // (r replicas - 1 original) + 1 merge
             .sum()
     }
 
@@ -81,13 +82,7 @@ impl RepPlan {
         self.replicas
             .iter()
             .zip(base.iter().zip(merge))
-            .map(|(&r, (&w, &m))| {
-                if r > 1 {
-                    w / r as f64 + m
-                } else {
-                    w
-                }
-            })
+            .map(|(&r, (&w, &m))| if r > 1 { w / r as f64 + m } else { w })
             .collect()
     }
 }
@@ -96,7 +91,11 @@ impl RepPlan {
 /// path drops below `T₁ / (2P)` or no further replication helps.
 pub fn plan_replication(dag: &TaskDag, params: &RepParams) -> RepPlan {
     let n = dag.n();
-    assert_eq!(params.merge_weights.len(), n, "merge weights length mismatch");
+    assert_eq!(
+        params.merge_weights.len(),
+        n,
+        "merge weights length mismatch"
+    );
     let base = dag.weights().to_vec();
     let mut plan = RepPlan {
         replicas: vec![1; n],
@@ -242,11 +241,7 @@ mod tests {
 
     /// A hub-dominated DAG: one huge task in a chain of light ones.
     fn skewed_chain() -> TaskDag {
-        TaskDag::from_edges(
-            4,
-            vec![1.0, 100.0, 1.0, 1.0],
-            &[(0, 1), (1, 2), (2, 3)],
-        )
+        TaskDag::from_edges(4, vec![1.0, 100.0, 1.0, 1.0], &[(0, 1), (1, 2), (2, 3)])
     }
 
     #[test]
@@ -261,7 +256,10 @@ mod tests {
     fn replicates_dominant_task() {
         let dag = skewed_chain();
         let plan = plan_replication(&dag, &RepParams::new(4, vec![0.5; 4]));
-        assert!(plan.replicas[1] > 1, "heavy task should replicate: {plan:?}");
+        assert!(
+            plan.replicas[1] > 1,
+            "heavy task should replicate: {plan:?}"
+        );
         assert!(plan.replicated_count() >= 1);
     }
 

@@ -72,10 +72,7 @@ mod tests {
     use stkde_grid::{Decomp, Decomposition, GridDims};
 
     fn lattice(a: usize, b: usize, c: usize) -> StencilGraph {
-        let d = Decomposition::new(
-            GridDims::new(a * 4, b * 4, c * 4),
-            Decomp::new(a, b, c),
-        );
+        let d = Decomposition::new(GridDims::new(a * 4, b * 4, c * 4), Decomp::new(a, b, c));
         StencilGraph::from_decomposition(&d)
     }
 

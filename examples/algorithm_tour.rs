@@ -14,7 +14,9 @@ fn main() -> Result<(), StkdeError> {
     let extent = domain.extent();
     let points = DatasetKind::PollenUs.generate(8_000, extent, 99);
     let bw = Bandwidth::new(6.0, 4.0);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     println!(
         "instance: grid {}, n = {}, Hs x Ht = 6 x 4, threads = {threads}\n",
         domain.dims(),
@@ -32,9 +34,18 @@ fn main() -> Result<(), StkdeError> {
         ("parallel: replication", Algorithm::PbSymDr),
         ("parallel: domain decomp", Algorithm::PbSymDd { decomp: d }),
         ("parallel: phased points", Algorithm::PbSymPd { decomp: d }),
-        ("parallel: DAG-scheduled", Algorithm::PbSymPdSched { decomp: d }),
-        ("parallel: + replication", Algorithm::PbSymPdRep { decomp: d }),
-        ("parallel: sched + rep", Algorithm::PbSymPdSchedRep { decomp: d }),
+        (
+            "parallel: DAG-scheduled",
+            Algorithm::PbSymPdSched { decomp: d },
+        ),
+        (
+            "parallel: + replication",
+            Algorithm::PbSymPdRep { decomp: d },
+        ),
+        (
+            "parallel: sched + rep",
+            Algorithm::PbSymPdSchedRep { decomp: d },
+        ),
     ];
 
     let engine = Stkde::new(domain, bw).threads(threads);

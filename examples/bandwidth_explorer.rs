@@ -29,7 +29,10 @@ fn main() -> Result<(), StkdeError> {
 
     // The two Figure-1 bandwidth settings.
     let settings = [
-        ("wide:   hs = 2500 m, ht = 14 d", Bandwidth::new(2_500.0, 14.0)),
+        (
+            "wide:   hs = 2500 m, ht = 14 d",
+            Bandwidth::new(2_500.0, 14.0),
+        ),
         ("narrow: hs =  500 m, ht =  7 d", Bandwidth::new(500.0, 7.0)),
     ];
 
@@ -53,7 +56,10 @@ fn main() -> Result<(), StkdeError> {
             100.0 * stats.occupancy(),
             result.timings
         );
-        renders.push((label, stkde::grid::io::ascii_slice(result.grid(), day, 56, 24)));
+        renders.push((
+            label,
+            stkde::grid::io::ascii_slice(result.grid(), day, 56, 24),
+        ));
     }
 
     let day = shared_day.expect("two runs completed");

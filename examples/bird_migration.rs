@@ -25,7 +25,9 @@ fn main() -> Result<(), StkdeError> {
         grid_mib
     );
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let engine = Stkde::new(domain, bw).threads(threads);
 
     // The sparse-instance signature: initialization dominates.
@@ -83,13 +85,7 @@ fn main() -> Result<(), StkdeError> {
         let t0 = q * per_quarter;
         let t1 = ((q + 1) * per_quarter).min(dims.gt);
         let mass: f64 = (t0..t1)
-            .map(|t| {
-                dd.grid
-                    .time_slice(t)
-                    .iter()
-                    .map(|&v| v as f64)
-                    .sum::<f64>()
-            })
+            .map(|t| dd.grid.time_slice(t).iter().map(|&v| v as f64).sum::<f64>())
             .sum();
         let bar_len = (mass * 4e3) as usize;
         println!(

@@ -78,8 +78,7 @@ fn main() -> Result<(), StkdeError> {
             if hs > 1000.0 { "broad" } else { "focused" }
         ));
         let max = stats.max;
-        stkde::grid::io::write_slice_pgm(result.grid(), peak_t, max, &out)
-            .expect("write heatmap");
+        stkde::grid::io::write_slice_pgm(result.grid(), peak_t, max, &out).expect("write heatmap");
         println!("  heatmap of day {peak_t} written to {}", out.display());
         println!(
             "{}",

@@ -41,7 +41,8 @@ fn main() -> Result<(), StkdeError> {
 
     const RANKS: usize = 8;
     for strategy in [DistStrategy::PointExchange, DistStrategy::HaloExchange] {
-        let r = distmem::run::<f32, _>(&problem, &Epanechnikov, points.as_slice(), RANKS, strategy)?;
+        let r =
+            distmem::run::<f32, _>(&problem, &Epanechnikov, points.as_slice(), RANKS, strategy)?;
 
         // The density cube must be identical to the sequential one.
         let diff = seq.grid.max_rel_diff(&r.grid, 1e-9);

@@ -46,9 +46,6 @@ fn main() -> Result<(), StkdeError> {
 
     // 5. Render that day as ASCII art (darker = denser).
     println!("\ndensity map, day {t}:");
-    print!(
-        "{}",
-        stkde::grid::io::ascii_slice(result.grid(), t, 72, 30)
-    );
+    print!("{}", stkde::grid::io::ascii_slice(result.grid(), t, 72, 30));
     Ok(())
 }

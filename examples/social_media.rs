@@ -24,7 +24,9 @@ fn main() -> Result<(), StkdeError> {
         domain.dims().bytes::<f32>() as f64 / (1024.0 * 1024.0),
     );
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let base = Stkde::new(domain, bw).threads(threads);
 
     // Sequential reference.
@@ -34,7 +36,10 @@ fn main() -> Result<(), StkdeError> {
         .algorithm(Algorithm::PbSym)
         .compute::<f32>(&tweets)?;
     let t_seq = t0.elapsed().as_secs_f64();
-    println!("PB-SYM (sequential reference): {t_seq:.3}s [{}]", reference.timings);
+    println!(
+        "PB-SYM (sequential reference): {t_seq:.3}s [{}]",
+        reference.timings
+    );
 
     // The parallel lineup on this machine.
     let candidates = [
@@ -59,12 +64,8 @@ fn main() -> Result<(), StkdeError> {
             Ok(result) => {
                 let t = t0.elapsed().as_secs_f64();
                 // Sanity: all strategies agree with the reference.
-                let agrees = stkde::core::validate::grids_agree(
-                    &reference.grid,
-                    &result.grid,
-                    1e-3,
-                    1e-9,
-                );
+                let agrees =
+                    stkde::core::validate::grids_agree(&reference.grid, &result.grid, 1e-3, 1e-9);
                 println!(
                     "  {:22} {t:7.3}s  speedup {:5.2}  {}",
                     result.algorithm.to_string(),
@@ -77,11 +78,11 @@ fn main() -> Result<(), StkdeError> {
     }
 
     // Let the cost model choose.
-    let auto = base.clone().algorithm(Algorithm::Auto).compute::<f32>(&tweets)?;
-    println!(
-        "\nAuto selected {} — {}",
-        auto.algorithm, auto.timings
-    );
+    let auto = base
+        .clone()
+        .algorithm(Algorithm::Auto)
+        .compute::<f32>(&tweets)?;
+    println!("\nAuto selected {} — {}", auto.algorithm, auto.timings);
 
     // What the analyst came for: when and where does allergy chatter peak?
     let ((x, y, t), peak) = stkde::grid::stats::top_k(&auto.grid, 1)[0];

@@ -1,0 +1,264 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the API shape the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box` — with
+//! a deliberately simple measurement loop: warm up once, then run batches
+//! until the measurement budget is spent and report the best mean batch
+//! time. No statistics, plots, or outlier analysis; for real measurements
+//! swap in crates.io criterion (the bench sources are API-compatible).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("  {}", id.0),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, B, F>(&mut self, id: B, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        B: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op hook).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best observed mean seconds per iteration, if `iter` ran.
+    best_s_per_iter: Option<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, called in batches; records the best mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim each batch at ~1/sample_size of
+        // the measurement budget.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(50));
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let per_batch = (budget.as_secs_f64() / self.sample_size.max(1) as f64 / once.as_secs_f64())
+            .clamp(1.0, 1e9) as u64;
+
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + budget;
+        let mut batches = 0;
+        while batches < self.sample_size || batches == 0 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let mean = start.elapsed().as_secs_f64() / per_batch as f64;
+            best = best.min(mean);
+            batches += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_s_per_iter = Some(best);
+    }
+
+    /// Like [`Bencher::iter`], but re-runs `setup` before every timed call
+    /// and excludes it from the measurement.
+    pub fn iter_with_setup<S, O, SF, F>(&mut self, mut setup: SF, mut f: F)
+    where
+        SF: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let deadline = Instant::now() + budget;
+        let mut best = f64::INFINITY;
+        let mut batches = 0;
+        while batches < self.sample_size || batches == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            best = best.min(start.elapsed().as_secs_f64());
+            batches += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_s_per_iter = Some(best);
+    }
+}
+
+fn format_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        best_s_per_iter: None,
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    match b.best_s_per_iter {
+        Some(best) => println!("{label}: {}", format_time(best)),
+        None => println!("{label}: (no measurement)"),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(20));
+        group.bench_function("square", |b| b.iter(|| black_box(7u64).pow(2)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+}

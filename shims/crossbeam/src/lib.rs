@@ -1,0 +1,32 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam),
+//! providing the `channel` subset the workspace uses (`unbounded`
+//! MPSC channels) on top of `std::sync::mpsc`. Semantics relied upon and
+//! preserved: sends never block, per-sender FIFO order, `recv` errors once
+//! every `Sender` is dropped and the queue is drained.
+
+/// Multi-producer channels (the `crossbeam-channel` subset in use).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err());
+    }
+}

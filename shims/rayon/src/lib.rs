@@ -1,0 +1,698 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a small, honest implementation of the rayon API
+//! surface it actually uses: slice/range parallel iterators (`par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter`), the
+//! `map`/`enumerate`/`for_each`/`for_each_init`/`reduce`/`sum`/`collect`
+//! combinators, and `ThreadPool`/`ThreadPoolBuilder` with `install`.
+//!
+//! Work really is executed on multiple OS threads: every consuming
+//! combinator splits its iterator into as many contiguous pieces as the
+//! ambient thread count and runs the pieces under `std::thread::scope`
+//! via recursive binary splitting (a simplified fork-join). Unlike real
+//! rayon there is no work stealing, so load balancing is purely static —
+//! good enough for the chunked loops this workspace runs, and trivially
+//! deterministic: ordered combinators (`collect`, `reduce`) combine piece
+//! results in index order.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing (`ThreadPool::install` sets an ambient count).
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static AMBIENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    AMBIENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// A logical thread pool: a target parallelism degree for the closures run
+/// under [`ThreadPool::install`]. Threads are spawned per operation (scoped),
+/// not kept resident.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The parallelism degree of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                AMBIENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(AMBIENT_THREADS.with(|c| c.replace(Some(self.threads))));
+        op()
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the thread count (`0` means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Never fails in this shim; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+// ---------------------------------------------------------------------------
+// The core trait: a splittable, exactly-sized source of items.
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: an exactly-sized item source that can be split at
+/// an index and driven sequentially piece by piece.
+pub trait ParallelIterator: Sized + Send {
+    /// The item type.
+    type Item: Send;
+
+    /// Exact number of remaining items.
+    fn par_len(&self) -> usize;
+
+    /// Split into `[0, at)` and `[at, len)`.
+    fn split_at(self, at: usize) -> (Self, Self);
+
+    /// Push every item into `f`, sequentially and in order.
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F);
+
+    /// Map each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_pieces(self, current_num_threads(), &|piece: Self| {
+            piece.drive(&mut |item| f(item));
+        });
+    }
+
+    /// Run `f` on every item with one `init()` state per sequential piece
+    /// (rayon initializes per rayon-job; per-piece is the same contract:
+    /// the state is never shared across threads).
+    fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> T + Send + Sync,
+        F: Fn(&mut T, Self::Item) + Send + Sync,
+    {
+        run_pieces(self, current_num_threads(), &|piece: Self| {
+            let mut state = init();
+            piece.drive(&mut |item| f(&mut state, item));
+        });
+    }
+
+    /// Fold to a single value: each piece folds sequentially from
+    /// `identity()`, then piece results are combined left-to-right — so the
+    /// result is deterministic for a fixed thread count.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let parts = run_pieces(self, current_num_threads(), &|piece: Self| {
+            let mut acc = identity();
+            piece.drive(&mut |item| {
+                let prev = std::mem::replace(&mut acc, identity());
+                acc = op(prev, item);
+            });
+            acc
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let parts = run_pieces(self, current_num_threads(), &|piece: Self| {
+            let mut items = Vec::with_capacity(piece.par_len());
+            piece.drive(&mut |item| items.push(item));
+            items.into_iter().sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+
+    /// Number of items (consuming, to mirror rayon).
+    fn count(self) -> usize {
+        self.par_len()
+    }
+
+    /// Collect into a container, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion from a parallel iterator, order-preserving.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the items of `p`.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let parts = run_pieces(p, current_num_threads(), &|piece: P| {
+            let mut v = Vec::with_capacity(piece.par_len());
+            piece.drive(&mut |item| v.push(item));
+            v
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Recursive binary fork-join: split `p` into ~`pieces` contiguous pieces,
+/// run `leaf` on each under scoped threads, and return leaf results in
+/// piece order. Panics from leaves are re-raised with their original
+/// payload.
+fn run_pieces<P, R>(p: P, pieces: usize, leaf: &(impl Fn(P) -> R + Sync)) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+{
+    if pieces <= 1 || p.par_len() <= 1 {
+        return vec![leaf(p)];
+    }
+    // Split items proportionally to the piece budget on each side, so every
+    // leaf ends up with ~len/pieces items even for non-power-of-two piece
+    // counts (a 50/50 item split would hand one leaf up to half the items).
+    let left_pieces = pieces.div_ceil(2);
+    let mid = (p.par_len() * left_pieces / pieces).clamp(1, p.par_len() - 1);
+    let (a, b) = p.split_at(mid);
+    let (mut left, right) = std::thread::scope(|scope| {
+        let handle = scope.spawn(move || run_pieces(a, left_pieces, leaf));
+        let right = run_pieces(b, pieces - left_pieces, leaf);
+        let left = match handle.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (left, right)
+    });
+    left.extend(right);
+    left
+}
+
+// ---------------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(at);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for item in self.slice {
+            f(item);
+        }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(at);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for item in self.slice {
+            f(item);
+        }
+    }
+}
+
+/// Parallel iterator over `size`-element chunks of `&[T]`.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let split = (at * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(split);
+        (
+            Chunks {
+                slice: a,
+                size: self.size,
+            },
+            Chunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for chunk in self.slice.chunks(self.size) {
+            f(chunk);
+        }
+    }
+}
+
+/// Parallel iterator over `size`-element chunks of `&mut [T]`.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let split = (at * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(split);
+        (
+            ChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for chunk in self.slice.chunks_mut(self.size) {
+            f(chunk);
+        }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = self.range.start + at.min(self.range.len());
+        (
+            RangeIter {
+                range: self.range.start..mid,
+            },
+            RangeIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for i in self.range {
+            f(i);
+        }
+    }
+}
+
+/// Owning parallel iterator over a `Vec<T>`.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, at: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(at);
+        (self, VecIter { vec: tail })
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for item in self.vec {
+            f(item);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// Mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, R, F> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(at);
+        (
+            Map {
+                base: a,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn drive<G: FnMut(Self::Item)>(self, g: &mut G) {
+        let f = &self.f;
+        self.base.drive(&mut |item| g(f(item)));
+    }
+}
+
+/// Index-tagged parallel iterator (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<S> {
+    base: S,
+    offset: usize,
+}
+
+impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(at);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + at,
+            },
+        )
+    }
+
+    fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+        let mut i = self.offset;
+        self.base.drive(&mut |item| {
+            f((i, item));
+            i += 1;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the `prelude` surface).
+// ---------------------------------------------------------------------------
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Iterate shared references in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = Iter<'a, T>;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = Iter<'a, T>;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The mutable parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Iterate unique references in parallel.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> IterMut<'a, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> IterMut<'a, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// `.par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunks { slice: self, size }
+    }
+}
+
+/// `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `size`-element mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMut { slice: self, size }
+    }
+}
+
+/// `.into_par_iter()` on owning sources.
+pub trait IntoParallelIterator {
+    /// The owning parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+/// The traits needed to call parallel-iterator methods.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let n = AtomicUsize::new(0);
+        let data = vec![1usize; 4096];
+        data.par_iter().for_each(|&x| {
+            n.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 4096);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_offsets() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 64 + i;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let s = data
+            .par_chunks(128)
+            .map(|c| c.iter().sum::<f64>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(s, data.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn install_sets_ambient_threads() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..100usize).into_par_iter().for_each(|i| {
+                if i == 37 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+}

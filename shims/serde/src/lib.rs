@@ -1,0 +1,18 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! Nothing in this workspace serializes today — the `#[derive(Serialize,
+//! Deserialize)]` attributes on the domain types record *intent* (and keep
+//! the door open for a real serde swap-in once the build environment has
+//! network access). This shim therefore provides the two traits as
+//! capability markers with no required methods, plus derive macros that
+//! emit the corresponding marker impls. Swapping in real serde later is a
+//! manifest-only change: the source-level API (`use serde::{Serialize,
+//! Deserialize}` + derives) is identical.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,44 @@
+//! Derive macros for the offline serde shim: they emit empty marker-trait
+//! impls (`impl serde::Serialize for T {}`), which is exactly what the
+//! shim's traits require. Implemented with `proc_macro` alone (no `syn`),
+//! so it parses just enough of the item to find its name and generics.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, generics_params)` from a struct/enum token stream.
+/// Returns the identifier following the `struct`/`enum` keyword. Only
+/// lifetime-free, non-generic items are supported — every derived type in
+/// this workspace is a plain struct or enum.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let s = ident.to_string();
+            if s == "struct" || s == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected item name after `{s}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("no struct or enum found in derive input");
+}
+
+/// Derive the `Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

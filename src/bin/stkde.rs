@@ -71,7 +71,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
-        let val = it.next().ok_or_else(|| format!("missing value for --{key}"))?;
+        let val = it
+            .next()
+            .ok_or_else(|| format!("missing value for --{key}"))?;
         map.insert(key.to_string(), val.clone());
     }
     Ok(map)
@@ -125,7 +127,11 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     }
     stkde::data::csv::save(&points, &out).map_err(|e| e.to_string())?;
-    println!("wrote {} synthetic {kind} events to {}", points.len(), out.display());
+    println!(
+        "wrote {} synthetic {kind} events to {}",
+        points.len(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -135,7 +141,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let mut points = stkde::data::csv::load(&input).map_err(|e| e.to_string())?;
     let dropped = points.retain_finite();
     println!("file:    {}", input.display());
-    println!("events:  {} ({} non-finite rows dropped)", points.len(), dropped);
+    println!(
+        "events:  {} ({} non-finite rows dropped)",
+        points.len(),
+        dropped
+    );
     if let Some(b) = points.bounds() {
         println!(
             "extent:  x [{:.3}, {:.3}]  y [{:.3}, {:.3}]  t [{:.3}, {:.3}]",
@@ -192,16 +202,15 @@ fn cmd_compute(args: &[String]) -> Result<(), String> {
     );
 
     let decomp = Decomp::cubic(k);
-    let (grid, timings, alg_name): (Grid3<f32>, _, String) =
-        if flags.contains_key("sparse") {
-            if flags.contains_key("adaptive") {
-                return Err("--sparse and --adaptive cannot be combined".into());
-            }
-            let r = Stkde::new(domain, bw)
-                .threads(threads)
-                .compute_sparse::<f32>(&points)
-                .map_err(|e| e.to_string())?;
-            println!(
+    let (grid, timings, alg_name): (Grid3<f32>, _, String) = if flags.contains_key("sparse") {
+        if flags.contains_key("adaptive") {
+            return Err("--sparse and --adaptive cannot be combined".into());
+        }
+        let r = Stkde::new(domain, bw)
+            .threads(threads)
+            .compute_sparse::<f32>(&points)
+            .map_err(|e| e.to_string())?;
+        println!(
                 "sparse backend: {} of {} blocks allocated ({:.1}% occupancy, {:.1} MiB vs {:.1} MiB dense)",
                 r.grid.allocated_blocks(),
                 r.grid.table_len(),
@@ -209,51 +218,55 @@ fn cmd_compute(args: &[String]) -> Result<(), String> {
                 r.grid.allocated_bytes() as f64 / (1024.0 * 1024.0),
                 domain.dims().bytes::<f32>() as f64 / (1024.0 * 1024.0),
             );
-            let name = if threads > 1 { "PB-SYM-SPARSE-DR" } else { "PB-SYM-SPARSE" };
-            // Exports below need the dense cube; materialize it.
-            (r.grid.to_dense(), r.timings, name.to_string())
-        } else if flags.contains_key("adaptive") {
-            // Adaptive bandwidth (paper's future-work extension).
-            let bws = stkde::core::adaptive::silverman_bandwidths(
-                &domain,
-                bw,
-                &Epanechnikov,
-                points.as_slice(),
-                stkde::core::adaptive::AdaptiveParams::default(),
-            );
-            let (grid, timings) = stkde::core::adaptive::run_parallel(
-                &domain,
-                &Epanechnikov,
-                points.as_slice(),
-                &bws,
-                decomp,
-                threads,
-            )
-            .map_err(|e| e.to_string())?;
-            (grid, timings, "ADAPTIVE-PD-SCHED".to_string())
+        let name = if threads > 1 {
+            "PB-SYM-SPARSE-DR"
         } else {
-            let algorithm = match flags.get("algorithm").map(String::as_str).unwrap_or("auto") {
-                "vb" => Algorithm::Vb,
-                "vb-dec" => Algorithm::VbDec,
-                "pb" => Algorithm::Pb,
-                "pb-sym" => Algorithm::PbSym,
-                "dr" => Algorithm::PbSymDr,
-                "dd" => Algorithm::PbSymDd { decomp },
-                "pd" => Algorithm::PbSymPd { decomp },
-                "pd-sched" => Algorithm::PbSymPdSched { decomp },
-                "pd-rep" => Algorithm::PbSymPdRep { decomp },
-                "pd-sched-rep" => Algorithm::PbSymPdSchedRep { decomp },
-                "auto" => Algorithm::Auto,
-                other => return Err(format!("unknown algorithm `{other}`")),
-            };
-            let result = Stkde::new(domain, bw)
-                .algorithm(algorithm)
-                .threads(threads)
-                .compute::<f32>(&points)
-                .map_err(|e| e.to_string())?;
-            let name = result.algorithm.to_string();
-            (result.grid().clone(), result.timings, name)
+            "PB-SYM-SPARSE"
         };
+        // Exports below need the dense cube; materialize it.
+        (r.grid.to_dense(), r.timings, name.to_string())
+    } else if flags.contains_key("adaptive") {
+        // Adaptive bandwidth (paper's future-work extension).
+        let bws = stkde::core::adaptive::silverman_bandwidths(
+            &domain,
+            bw,
+            &Epanechnikov,
+            points.as_slice(),
+            stkde::core::adaptive::AdaptiveParams::default(),
+        );
+        let (grid, timings) = stkde::core::adaptive::run_parallel(
+            &domain,
+            &Epanechnikov,
+            points.as_slice(),
+            &bws,
+            decomp,
+            threads,
+        )
+        .map_err(|e| e.to_string())?;
+        (grid, timings, "ADAPTIVE-PD-SCHED".to_string())
+    } else {
+        let algorithm = match flags.get("algorithm").map(String::as_str).unwrap_or("auto") {
+            "vb" => Algorithm::Vb,
+            "vb-dec" => Algorithm::VbDec,
+            "pb" => Algorithm::Pb,
+            "pb-sym" => Algorithm::PbSym,
+            "dr" => Algorithm::PbSymDr,
+            "dd" => Algorithm::PbSymDd { decomp },
+            "pd" => Algorithm::PbSymPd { decomp },
+            "pd-sched" => Algorithm::PbSymPdSched { decomp },
+            "pd-rep" => Algorithm::PbSymPdRep { decomp },
+            "pd-sched-rep" => Algorithm::PbSymPdSchedRep { decomp },
+            "auto" => Algorithm::Auto,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        };
+        let result = Stkde::new(domain, bw)
+            .algorithm(algorithm)
+            .threads(threads)
+            .compute::<f32>(&points)
+            .map_err(|e| e.to_string())?;
+        let name = result.algorithm.to_string();
+        (result.grid().clone(), result.timings, name)
+    };
 
     println!("algorithm {alg_name}: {timings}");
     let stats = stkde::grid_stats(&grid);
@@ -295,7 +308,10 @@ fn cmd_compute(args: &[String]) -> Result<(), String> {
         }
         for t in slices {
             if t >= domain.dims().gt {
-                return Err(format!("slice {t} out of range (Gt = {})", domain.dims().gt));
+                return Err(format!(
+                    "slice {t} out of range (Gt = {})",
+                    domain.dims().gt
+                ));
             }
             let path = PathBuf::from(format!("{}_t{t}.{format}", prefix.display()));
             match format {

@@ -17,12 +17,7 @@ fn tiny(name: &str) -> stkde_data::Instance {
 fn scaled_catalog_instances_run_and_agree() {
     // One representative per dataset (keeps the test fast while touching
     // all four synthetic profiles).
-    for name in [
-        "Dengue_Lr-Lb",
-        "PollenUS_Lr-Lb",
-        "Flu_Lr-Hb",
-        "eBird_Lr-Lb",
-    ] {
+    for name in ["Dengue_Lr-Lb", "PollenUS_Lr-Lb", "Flu_Lr-Hb", "eBird_Lr-Lb"] {
         let inst = tiny(name);
         let points = inst.generate_points(3);
         let engine = Stkde::new(inst.domain(), inst.bandwidth());

@@ -33,7 +33,11 @@ fn check_instance(domain: Domain, bw: Bandwidth, points: &PointSet, label: &str)
         Algorithm::PbSym,
     ];
     for alg in sequential {
-        let r = engine.clone().algorithm(alg).compute::<f64>(points).unwrap();
+        let r = engine
+            .clone()
+            .algorithm(alg)
+            .compute::<f64>(points)
+            .unwrap();
         assert!(
             grids_agree(reference.grid(), r.grid(), 1e-9, 1e-14),
             "{label}: {alg} diverges from VB"
@@ -86,7 +90,11 @@ fn boundary_hugging_points_agree() {
     for i in 0..40 {
         let f = i as f64 / 40.0;
         pts.push(Point::new(e.min[0] + f * 16.0, e.min[1], e.min[2]));
-        pts.push(Point::new(e.max[0] - 1e-9, e.min[1] + f * 16.0, e.max[2] - 1e-9));
+        pts.push(Point::new(
+            e.max[0] - 1e-9,
+            e.min[1] + f * 16.0,
+            e.max[2] - 1e-9,
+        ));
     }
     let points = PointSet::from_vec(pts);
     check_instance(domain, Bandwidth::new(4.0, 3.0), &points, "boundary");

@@ -13,14 +13,8 @@ use stkde_grid::BlockDims;
 
 /// A random instance: grid dims, bandwidths, and points inside the extent.
 fn arb_instance() -> impl Strategy<Value = (Domain, Bandwidth, Vec<Point>)> {
-    (
-        2usize..24,
-        2usize..20,
-        2usize..16,
-        1.0f64..6.0,
-        1.0f64..4.0,
-    )
-        .prop_flat_map(|(gx, gy, gt, hs, ht)| {
+    (2usize..24, 2usize..20, 2usize..16, 1.0f64..6.0, 1.0f64..4.0).prop_flat_map(
+        |(gx, gy, gt, hs, ht)| {
             let domain = Domain::from_dims(GridDims::new(gx, gy, gt));
             let points = proptest::collection::vec(
                 (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(move |(fx, fy, ft)| {
@@ -33,7 +27,8 @@ fn arb_instance() -> impl Strategy<Value = (Domain, Bandwidth, Vec<Point>)> {
                 0..40,
             );
             (Just(domain), Just(Bandwidth::new(hs, ht)), points)
-        })
+        },
+    )
 }
 
 fn batch(domain: Domain, bw: Bandwidth, points: &[Point]) -> Grid3<f64> {

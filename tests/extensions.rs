@@ -58,8 +58,9 @@ fn distributed_strategies_match_vb_end_to_end() {
     let problem = Problem::new(domain, bw, points.len());
     for strategy in [DistStrategy::PointExchange, DistStrategy::HaloExchange] {
         for ranks in [2, 4, 7] {
-            let r = distmem::run::<f64, _>(&problem, &Epanechnikov, points.as_slice(), ranks, strategy)
-                .unwrap();
+            let r =
+                distmem::run::<f64, _>(&problem, &Epanechnikov, points.as_slice(), ranks, strategy)
+                    .unwrap();
             assert!(
                 vb.max_rel_diff(&r.grid, 1e-12) < 1e-8,
                 "{strategy} ranks={ranks}"
@@ -176,8 +177,11 @@ fn window_stream_tracks_repeated_batch_queries() {
     for (i, &p) in feed.iter().enumerate() {
         live.push(p);
         if i % 25 == 24 {
-            let survivors: Vec<Point> =
-                feed[..=i].iter().filter(|q| q.t >= p.t - window).copied().collect();
+            let survivors: Vec<Point> = feed[..=i]
+                .iter()
+                .filter(|q| q.t >= p.t - window)
+                .copied()
+                .collect();
             let batch = reference(domain, bw, &PointSet::from_vec(survivors.clone()));
             assert_eq!(live.len(), survivors.len(), "checkpoint {i}");
             assert!(
