@@ -20,14 +20,20 @@
 //! arithmetic. Drift is bounded by a few ULPs per update pair and is
 //! invisible with `f64` grids (the property tests assert tight agreement
 //! with batch recomputation); long-running `f32` windows should call
-//! [`SlidingWindowStkde::rebuild`] occasionally.
+//! [`SlidingWindowStkde::rebuild`] occasionally, or set
+//! [`SlidingWindowStkde::auto_rebuild_every`] to have the window do it
+//! itself after every `n` insert/evict pairs.
+//!
+//! For serving, every mutation advances a monotone *generation counter*
+//! ([`IncrementalStkde::generation`]); readers can key caches on it and
+//! know that equal generations mean byte-identical cubes.
 
 use crate::algorithms::pb_sym;
 use crate::kernel_apply::{apply_points_seq, PointKernel};
 use crate::problem::Problem;
 use std::collections::VecDeque;
 use stkde_data::Point;
-use stkde_grid::{Bandwidth, Domain, Grid3, Scalar, VoxelRange};
+use stkde_grid::{stats, Bandwidth, Domain, Grid3, GridStats, Scalar, VoxelRange};
 use stkde_kernels::{Epanechnikov, SpaceTimeKernel};
 
 /// An STKDE cube maintained under insertions and removals.
@@ -53,6 +59,8 @@ pub struct IncrementalStkde<S, K = Epanechnikov> {
     /// Unnormalized accumulation: `Σ ks·kt / (hs²·ht)`.
     grid: Grid3<S>,
     n: usize,
+    /// Monotone mutation counter: equal generations ⇒ identical cubes.
+    generation: u64,
 }
 
 impl<S: Scalar> IncrementalStkde<S, Epanechnikov> {
@@ -72,6 +80,7 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
             kernel,
             grid: Grid3::zeros(domain.dims()),
             n: 0,
+            generation: 0,
         }
     }
 
@@ -95,6 +104,16 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
         self.bw
     }
 
+    /// Monotone mutation counter, advanced by every state change
+    /// ([`insert`](Self::insert), [`remove`](Self::remove),
+    /// [`insert_batch`](Self::insert_batch), [`clear`](Self::clear)).
+    ///
+    /// Two reads observing the same generation observed an identical cube,
+    /// which is exactly what a query cache needs for its key.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// A problem description with the estimator's `1/n` stripped (`n = 1`
     /// leaves exactly the `1/(hs²·ht)` factor in the folded norm).
     fn unit_problem(&self, sign: f64) -> Problem {
@@ -116,6 +135,29 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
             clip,
         );
         self.n += 1;
+        self.generation += 1;
+    }
+
+    /// Add many events' cylinders in one pass: `Θ(k·Hs²·Ht)` for `k`
+    /// points, but with a single problem setup and a single generation
+    /// step. This is the write-coalescing primitive a serving ingest
+    /// thread uses to apply a whole drained batch per lock acquisition.
+    pub fn insert_batch(&mut self, points: &[Point]) {
+        if points.is_empty() {
+            return;
+        }
+        let problem = self.unit_problem(1.0);
+        let clip = VoxelRange::full(self.domain.dims());
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut self.grid,
+            &problem,
+            &self.kernel,
+            points,
+            clip,
+        );
+        self.n += points.len();
+        self.generation += 1;
     }
 
     /// Subtract one event's cylinder. `Θ(Hs²·Ht)`.
@@ -139,6 +181,7 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
             clip,
         );
         self.n -= 1;
+        self.generation += 1;
     }
 
     /// Normalized density at voxel `(x, y, t)` — the estimator
@@ -168,10 +211,66 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
         Grid3::from_vec(self.domain.dims(), data)
     }
 
+    /// Normalized density at voxel `(x, y, t)`, or `None` when the
+    /// coordinate is outside the grid — the bounds-checked read a query
+    /// endpoint wants.
+    pub fn density_checked(&self, x: usize, y: usize, t: usize) -> Option<f64> {
+        if self.domain.dims().contains(x, y, t) {
+            Some(self.density(x, y, t))
+        } else {
+            None
+        }
+    }
+
+    /// Summary statistics of the **normalized** density inside a voxel
+    /// box (clipped to the grid), without materializing a snapshot.
+    ///
+    /// `sum`, `max`, and `min` are scaled by `1/n`; `nonzero`/`total`
+    /// count voxels and are scale-invariant. An empty cube reports the
+    /// statistics of an all-zero region.
+    pub fn density_range(&self, r: VoxelRange) -> GridStats {
+        let mut s = stats::range_stats(&self.grid, r);
+        if self.n == 0 {
+            // No contributions: the accumulator is identically zero and the
+            // estimator is defined as zero.
+            if s.total > 0 {
+                s.max = 0.0;
+                s.min = 0.0;
+            }
+            return s;
+        }
+        let inv_n = 1.0 / self.n as f64;
+        s.sum *= inv_n;
+        s.max *= inv_n;
+        s.min *= inv_n;
+        s
+    }
+
+    /// The normalized time plane at `t` as a row-major `Gy × Gx` vector,
+    /// or `None` when `t` is out of range.
+    pub fn density_slice(&self, t: usize) -> Option<Vec<f64>> {
+        if t >= self.domain.dims().gt {
+            return None;
+        }
+        let inv_n = if self.n == 0 {
+            0.0
+        } else {
+            1.0 / self.n as f64
+        };
+        Some(
+            self.grid
+                .time_slice(t)
+                .iter()
+                .map(|&v| v.to_f64() * inv_n)
+                .collect(),
+        )
+    }
+
     /// Drop every contribution (reusing the allocation).
     pub fn clear(&mut self) {
         self.grid.clear_parallel();
         self.n = 0;
+        self.generation += 1;
     }
 }
 
@@ -185,6 +284,25 @@ pub struct SlidingWindowStkde<S, K = Epanechnikov> {
     cube: IncrementalStkde<S, K>,
     points: VecDeque<Point>,
     window: f64,
+    /// Rebuild after this many insert/evict pairs (`None` = never).
+    auto_rebuild: Option<usize>,
+    /// Insert/evict pairs since the last rebuild.
+    churn: usize,
+    /// How many drift-correcting rebuilds have run (manual + automatic).
+    rebuilds: usize,
+}
+
+/// What [`SlidingWindowStkde::push_batch`] did with a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchPush {
+    /// Batch events rasterized into the cube.
+    pub inserted: usize,
+    /// Previously stored events evicted by the batch.
+    pub evicted: usize,
+    /// Batch events that the batch itself aged out: already older than
+    /// `newest.t - window`, so they were never rasterized at all —
+    /// the insert+remove pair a sequential replay would have paid.
+    pub skipped: usize,
 }
 
 impl<S: Scalar> SlidingWindowStkde<S, Epanechnikov> {
@@ -201,11 +319,28 @@ impl<S: Scalar> SlidingWindowStkde<S, Epanechnikov> {
             cube: IncrementalStkde::new(domain, bw),
             points: VecDeque::new(),
             window,
+            auto_rebuild: None,
+            churn: 0,
+            rebuilds: 0,
         }
     }
 }
 
 impl<S: Scalar, K: SpaceTimeKernel> SlidingWindowStkde<S, K> {
+    /// Enable the drift hygiene the module docs call for: after every `n`
+    /// insert/evict pairs, run [`rebuild`](Self::rebuild) automatically so
+    /// float cancellation error cannot accumulate without bound. Most
+    /// useful for `f32` grids; a few hundred is a good cadence.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn auto_rebuild_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "auto-rebuild cadence must be >= 1");
+        self.auto_rebuild = Some(n);
+        self
+    }
+
     /// Push the next event; evicts everything older than
     /// `p.t - window`. Returns how many events were evicted.
     ///
@@ -235,7 +370,72 @@ impl<S: Scalar, K: SpaceTimeKernel> SlidingWindowStkde<S, K> {
         }
         self.cube.insert(p);
         self.points.push_back(p);
+        self.churn += evicted;
+        self.maybe_auto_rebuild();
         evicted
+    }
+
+    /// Push a time-ordered batch of events in one coalesced pass.
+    ///
+    /// Equivalent to pushing each event in order (the resulting window
+    /// contents are identical; voxel values agree up to the float noise of
+    /// the insert+remove pairs a sequential replay pays), but cheaper:
+    /// evictions are computed once against the *last* event's cutoff, batch
+    /// events that would age out within the batch are skipped instead of
+    /// being rasterized and immediately un-rasterized, and the survivors go
+    /// through [`IncrementalStkde::insert_batch`] — a single pass and a
+    /// single generation step. This is the unit of work a serving ingest
+    /// thread applies per write-lock acquisition.
+    ///
+    /// # Panics
+    /// Panics if the batch is not internally time-ordered or starts before
+    /// the newest event already pushed.
+    pub fn push_batch(&mut self, batch: &[Point]) -> BatchPush {
+        let Some((first, last)) = batch.first().zip(batch.last()) else {
+            return BatchPush::default();
+        };
+        if let Some(prev) = self.points.back() {
+            assert!(
+                first.t >= prev.t,
+                "stream must be time-ordered: got t={} after t={}",
+                first.t,
+                prev.t
+            );
+        }
+        assert!(
+            batch.windows(2).all(|w| w[0].t <= w[1].t),
+            "batch must be time-ordered"
+        );
+        let cutoff = last.t - self.window;
+        let mut out = BatchPush::default();
+        while let Some(old) = self.points.front() {
+            if old.t < cutoff {
+                let old = *old;
+                self.points.pop_front();
+                self.cube.remove(&old);
+                out.evicted += 1;
+            } else {
+                break;
+            }
+        }
+        // The batch is sorted, so survivors are a suffix.
+        let split = batch.partition_point(|p| p.t < cutoff);
+        out.skipped = split;
+        let survivors = &batch[split..];
+        out.inserted = survivors.len();
+        self.cube.insert_batch(survivors);
+        self.points.extend(survivors.iter().copied());
+        self.churn += out.evicted;
+        self.maybe_auto_rebuild();
+        out
+    }
+
+    fn maybe_auto_rebuild(&mut self) {
+        if let Some(n) = self.auto_rebuild {
+            if self.churn >= n {
+                self.rebuild();
+            }
+        }
     }
 
     /// Events currently inside the window.
@@ -258,6 +458,29 @@ impl<S: Scalar, K: SpaceTimeKernel> SlidingWindowStkde<S, K> {
         self.points.iter()
     }
 
+    /// The window length in time units.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Arrival time of the newest event, or `None` when empty. A server
+    /// uses this to reject stale events instead of tripping the
+    /// time-ordering panic.
+    pub fn newest_time(&self) -> Option<f64> {
+        self.points.back().map(|p| p.t)
+    }
+
+    /// The cube's monotone mutation counter (see
+    /// [`IncrementalStkde::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.cube.generation()
+    }
+
+    /// How many drift-correcting rebuilds have run, manual and automatic.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
     /// Recompute the cube from the stored in-window points with batch
     /// `PB-SYM`, clearing any accumulated float drift. `Θ(G + k·Hs²·Ht)`
     /// for `k` live points.
@@ -268,6 +491,9 @@ impl<S: Scalar, K: SpaceTimeKernel> SlidingWindowStkde<S, K> {
         let (grid, _) = pb_sym::run::<S, K>(&problem, &self.cube.kernel, &points);
         self.cube.grid = grid;
         self.cube.n = points.len();
+        self.cube.generation += 1;
+        self.churn = 0;
+        self.rebuilds += 1;
     }
 }
 
@@ -401,6 +627,161 @@ mod tests {
         let after = win.cube().snapshot();
         assert!(before.max_rel_diff(&after, 1e-12) < 1e-8);
         assert_eq!(win.cube().len(), win.len());
+    }
+
+    #[test]
+    fn insert_batch_matches_one_at_a_time() {
+        let points = synth::uniform(50, domain().extent(), 36).into_vec();
+        let mut single = IncrementalStkde::<f64>::new(domain(), Bandwidth::new(3.0, 2.0));
+        for &p in &points {
+            single.insert(p);
+        }
+        let mut batched = IncrementalStkde::<f64>::new(domain(), Bandwidth::new(3.0, 2.0));
+        batched.insert_batch(&points);
+        assert_eq!(batched.len(), 50);
+        // Same points in the same order accumulate in the same order per
+        // voxel: the cubes are bit-identical.
+        assert_eq!(single.snapshot(), batched.snapshot());
+        // One generation step for the whole batch vs. one per point.
+        assert_eq!(batched.generation(), 1);
+        assert_eq!(single.generation(), 50);
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_pushes() {
+        let mut points = synth::uniform(80, domain().extent(), 37).into_vec();
+        points.sort_by(|a, b| a.t.total_cmp(&b.t));
+        let bw = Bandwidth::new(3.0, 2.0);
+        let mut seq = SlidingWindowStkde::<f64>::new(domain(), bw, 3.0);
+        for &p in &points {
+            seq.push(p);
+        }
+        let mut bat = SlidingWindowStkde::<f64>::new(domain(), bw, 3.0);
+        let mut inserted = 0;
+        let mut skipped = 0;
+        for chunk in points.chunks(17) {
+            let r = bat.push_batch(chunk);
+            inserted += r.inserted;
+            skipped += r.skipped;
+        }
+        assert_eq!(inserted + skipped, points.len());
+        assert_eq!(bat.len(), seq.len());
+        assert!(bat.points().eq(seq.points()), "window contents must agree");
+        let diff = seq
+            .cube()
+            .snapshot()
+            .max_rel_diff(&bat.cube().snapshot(), 1e-12);
+        assert!(diff < 1e-9, "batched push diverges: {diff}");
+    }
+
+    #[test]
+    fn push_batch_skips_events_that_age_out_in_batch() {
+        // Batch spans 10 time units, window is 2: the early events never
+        // get rasterized.
+        let mut win = SlidingWindowStkde::<f64>::new(domain(), Bandwidth::new(2.0, 1.0), 2.0);
+        let batch = [
+            Point::new(5.0, 5.0, 0.5),
+            Point::new(6.0, 6.0, 1.0),
+            Point::new(7.0, 7.0, 10.0),
+        ];
+        let r = win.push_batch(&batch);
+        assert_eq!(
+            r,
+            BatchPush {
+                inserted: 1,
+                evicted: 0,
+                skipped: 2
+            }
+        );
+        assert_eq!(win.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_batch_rejects_unsorted_batch() {
+        let mut win = SlidingWindowStkde::<f64>::new(domain(), Bandwidth::new(2.0, 1.0), 2.0);
+        win.push_batch(&[Point::new(1.0, 1.0, 3.0), Point::new(1.0, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn generation_is_monotone_and_tracks_mutations() {
+        let mut win = SlidingWindowStkde::<f64>::new(domain(), Bandwidth::new(2.0, 1.0), 2.0);
+        let mut last = win.generation();
+        assert_eq!(last, 0);
+        let mut points = synth::uniform(30, domain().extent(), 38).into_vec();
+        points.sort_by(|a, b| a.t.total_cmp(&b.t));
+        for &p in &points {
+            win.push(p);
+            let g = win.generation();
+            assert!(g > last, "push must advance the generation");
+            last = g;
+        }
+        win.rebuild();
+        assert!(win.generation() > last, "rebuild must advance too");
+    }
+
+    #[test]
+    fn read_view_matches_snapshot() {
+        let mut inc = IncrementalStkde::<f64>::new(domain(), Bandwidth::new(3.0, 2.0));
+        inc.insert_batch(&synth::uniform(25, domain().extent(), 39).into_vec());
+        let snap = inc.snapshot();
+        // Voxel reads.
+        assert_eq!(inc.density_checked(5, 5, 5), Some(snap.get(5, 5, 5)));
+        assert_eq!(inc.density_checked(99, 0, 0), None);
+        // Range aggregate over the normalized cube.
+        let r = VoxelRange {
+            x0: 2,
+            x1: 14,
+            y0: 1,
+            y1: 11,
+            t0: 3,
+            t1: 9,
+        };
+        let got = inc.density_range(r);
+        let want = stats::range_stats(&snap, r);
+        assert!((got.sum - want.sum).abs() < 1e-12);
+        assert!((got.max - want.max).abs() < 1e-15);
+        assert_eq!(got.nonzero, want.nonzero);
+        assert_eq!(got.total, want.total);
+        // Time-plane export.
+        let plane = inc.density_slice(6).unwrap();
+        assert_eq!(plane, snap.time_slice(6).to_vec());
+        assert!(inc.density_slice(16).is_none());
+    }
+
+    #[test]
+    fn auto_rebuild_triggers_at_cadence() {
+        let mut win = SlidingWindowStkde::<f64>::new(domain(), Bandwidth::new(2.0, 1.0), 1.0)
+            .auto_rebuild_every(4);
+        // Each push at t = k/2 evicts one event once the window saturates.
+        for k in 0..24 {
+            win.push(Point::new(12.0, 10.0, k as f64 * 0.5));
+        }
+        assert!(win.rebuilds() >= 2, "rebuilds: {}", win.rebuilds());
+        assert_eq!(win.cube().len(), win.len());
+    }
+
+    #[test]
+    fn f32_auto_rebuild_bounds_drift() {
+        // Regression for the module-doc promise: with the auto-rebuild
+        // hygiene enabled, a long-churning f32 window stays much closer to
+        // the batch recomputation than the drift-prone raw stream.
+        let bw = Bandwidth::new(3.0, 2.0);
+        let mut sorted = synth::uniform(400, domain().extent(), 40).into_vec();
+        sorted.sort_by(|a, b| a.t.total_cmp(&b.t));
+        let mut win = SlidingWindowStkde::<f32>::new(domain(), bw, 0.5).auto_rebuild_every(25);
+        for &p in &sorted {
+            win.push(p);
+        }
+        assert!(win.rebuilds() > 0, "cadence must have fired");
+        let live = win.cube().snapshot();
+        win.rebuild();
+        let clean = win.cube().snapshot();
+        let diff = live.max_abs_diff(&clean);
+        // Between rebuilds at most 25 update pairs can drift — orders of
+        // magnitude tighter than the 1e-4 bound the raw 200-pair churn
+        // test tolerates above.
+        assert!(diff < 2e-6, "auto-rebuilt f32 drift too large: {diff}");
     }
 
     #[test]

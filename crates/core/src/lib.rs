@@ -57,7 +57,7 @@ pub mod validate;
 
 pub use engine::{Algorithm, Stkde, StkdeResult};
 pub use error::StkdeError;
-pub use incremental::{IncrementalStkde, SlidingWindowStkde};
+pub use incremental::{BatchPush, IncrementalStkde, SlidingWindowStkde};
 pub use problem::Problem;
 pub use sparse::SparseResult;
 pub use timing::PhaseTimings;

@@ -45,3 +45,4 @@ pub use range::VoxelRange;
 pub use scalar::Scalar;
 pub use shared::{SharedGrid, WriteAudit};
 pub use sparse::{BlockDims, SparseGrid3};
+pub use stats::GridStats;

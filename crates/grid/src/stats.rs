@@ -2,6 +2,7 @@
 //! example applications to locate hotspots).
 
 use crate::grid3::Grid3;
+use crate::range::VoxelRange;
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
@@ -63,6 +64,42 @@ pub fn stats<S: Scalar>(grid: &Grid3<S>) -> GridStats {
     }
 }
 
+/// Compute summary statistics over a voxel sub-box only (clipped to the
+/// grid). This is the aggregate behind region queries: a density server
+/// answers "how much mass / what peak inside this space-time box" without
+/// materializing a copy of the region.
+///
+/// An empty (or fully clipped-away) range yields the statistics of zero
+/// voxels: `sum = 0`, `max = -∞`, `min = +∞`, `total = 0`.
+pub fn range_stats<S: Scalar>(grid: &Grid3<S>, r: VoxelRange) -> GridStats {
+    let r = r.clipped(grid.dims());
+    let mut acc = GridStats {
+        sum: 0.0,
+        max: f64::NEG_INFINITY,
+        min: f64::INFINITY,
+        nonzero: 0,
+        total: r.volume(),
+    };
+    // An inverted axis (x0 > x1) survives clipping; without this guard the
+    // row slicing below would panic on `x0..x1`.
+    if r.is_empty() {
+        acc.total = 0;
+        return acc;
+    }
+    for t in r.t0..r.t1 {
+        for y in r.y0..r.y1 {
+            for &v in grid.row(y, t, r.x0, r.x1) {
+                let v = v.to_f64();
+                acc.sum += v;
+                acc.max = acc.max.max(v);
+                acc.min = acc.min.min(v);
+                acc.nonzero += (v != 0.0) as usize;
+            }
+        }
+    }
+    acc
+}
+
 /// Sum of each time slice — the temporal marginal `Σ_{x,y} f̂(x,y,t)`,
 /// useful for "activity over time" readings (cf. the epidemic waves of the
 /// paper's Dengue data).
@@ -116,6 +153,59 @@ pub fn top_k<S: Scalar>(grid: &Grid3<S>, k: usize) -> Vec<((usize, usize, usize)
 mod tests {
     use super::*;
     use crate::dims::GridDims;
+
+    #[test]
+    fn range_stats_counts_box_only() {
+        let mut g: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        g.add(0, 0, 0, 1.0);
+        g.add(1, 1, 1, 2.0);
+        g.add(3, 3, 3, 10.0);
+        let r = VoxelRange {
+            x0: 0,
+            x1: 2,
+            y0: 0,
+            y1: 2,
+            t0: 0,
+            t1: 2,
+        };
+        let s = range_stats(&g, r);
+        assert_eq!(s.sum, 3.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.nonzero, 2);
+        assert_eq!(s.total, 8);
+        // The full grid agrees with the global statistics.
+        let full = range_stats(&g, VoxelRange::full(g.dims()));
+        let global = stats(&g);
+        assert_eq!(full, global);
+    }
+
+    #[test]
+    fn range_stats_of_empty_range() {
+        let g: Grid3<f32> = Grid3::zeros(GridDims::new(3, 3, 3));
+        let s = range_stats(&g, VoxelRange::empty());
+        assert_eq!(s.total, 0);
+        assert_eq!(s.sum, 0.0);
+        assert!(s.max.is_infinite() && s.max < 0.0);
+        assert!(s.min.is_infinite() && s.min > 0.0);
+    }
+
+    #[test]
+    fn range_stats_tolerates_inverted_axes() {
+        // x0 > x1 survives clipping; must report an empty box, not panic.
+        let g: Grid3<f64> = Grid3::zeros(GridDims::new(4, 4, 4));
+        let r = VoxelRange {
+            x0: 3,
+            x1: 1,
+            y0: 0,
+            y1: 4,
+            t0: 0,
+            t1: 4,
+        };
+        let s = range_stats(&g, r);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.nonzero, 0);
+    }
 
     #[test]
     fn stats_of_zero_grid() {

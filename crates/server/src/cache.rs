@@ -1,0 +1,131 @@
+//! A small LRU cache for query results.
+//!
+//! Region and slice queries are the expensive reads (they touch up to the
+//! whole cube); the service caches their encoded responses keyed on the
+//! canonical query string **plus the cube's generation counter**. A write
+//! advances the generation, so stale entries can never be served — they
+//! simply stop being hit and age out of the LRU order.
+//!
+//! Capacities are tiny (tens of entries), so the cache favors simplicity:
+//! a vector ordered most-recently-used-first with linear lookup.
+
+/// An LRU cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    cap: usize,
+    /// Most recently used first.
+    entries: Vec<(K, V)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (`0` disables caching).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                self.hits += 1;
+                let entry = self.entries.remove(i);
+                let value = entry.1.clone();
+                self.entries.insert(0, entry);
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used one
+    /// if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == &key) {
+            self.entries.remove(i);
+        }
+        self.entries.insert(0, (key, value));
+        self.entries.truncate(self.cap);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to a recompute.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_promotion() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some("one")); // promotes 1
+        c.insert(3, "three"); // evicts 2 (LRU)
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some("one"));
+        assert_eq!(c.get(&3), Some("three"));
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn generation_in_key_separates_epochs() {
+        // The service keys on (query, generation): a write that bumps the
+        // generation makes the old entry unreachable.
+        let mut c: LruCache<(String, u64), &str> = LruCache::new(8);
+        c.insert(("region".into(), 1), "old");
+        assert_eq!(c.get(&("region".into(), 2)), None);
+        c.insert(("region".into(), 2), "new");
+        assert_eq!(c.get(&("region".into(), 2)), Some("new"));
+    }
+}

@@ -1,0 +1,358 @@
+//! HTTP endpoint routing for the density service.
+//!
+//! | endpoint | verb | what it answers |
+//! |---|---|---|
+//! | `/healthz`  | GET  | liveness + generation |
+//! | `/stats`    | GET  | ingest/serve counters |
+//! | `/density`  | GET  | one voxel's density (`x`, `y`, `t`) |
+//! | `/region`   | GET  | aggregate over a voxel box (`x0..t1`, default full grid) |
+//! | `/slice`    | GET  | one time plane (`t`) |
+//! | `/events`   | POST | ingest one event or a batch |
+//! | `/shutdown` | POST | ask the daemon to stop gracefully |
+//!
+//! Region and slice responses are served through the generation-keyed LRU
+//! cache; voxel reads are cheap enough to always hit the cube.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::service::DensityService;
+use stkde_data::Point;
+use stkde_grid::VoxelRange;
+
+/// Dispatch one request against the service.
+pub fn handle(svc: &DensityService, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(svc),
+        ("GET", "/stats") => Response::json(200, &svc.stats_json()),
+        ("GET", "/density") => density(svc, req),
+        ("GET", "/region") => region(svc, req),
+        ("GET", "/slice") => slice(svc, req),
+        ("POST", "/events") => events(svc, req),
+        ("POST", "/shutdown") => shutdown(svc),
+        (_, "/healthz" | "/stats" | "/density" | "/region" | "/slice") => {
+            Response::error(405, "use GET")
+        }
+        (_, "/events" | "/shutdown") => Response::error(405, "use POST"),
+        _ => Response::error(404, format!("no such endpoint {}", req.path)),
+    }
+}
+
+fn healthz(svc: &DensityService) -> Response {
+    Response::json(
+        200,
+        &Json::obj([
+            ("status", Json::from("ok")),
+            ("generation", Json::from(svc.generation())),
+        ]),
+    )
+}
+
+/// A required numeric query parameter, or the 400 explaining what's wrong.
+fn param_usize(req: &Request, name: &str) -> Result<usize, Response> {
+    let raw = req
+        .query_param(name)
+        .ok_or_else(|| Response::error(400, format!("missing query parameter `{name}`")))?;
+    raw.parse()
+        .map_err(|_| Response::error(400, format!("bad `{name}`: {raw:?} is not a voxel index")))
+}
+
+/// An optional numeric query parameter with a default.
+fn param_usize_or(req: &Request, name: &str, default: usize) -> Result<usize, Response> {
+    match req.query_param(name) {
+        None => Ok(default),
+        Some(_) => param_usize(req, name),
+    }
+}
+
+fn density(svc: &DensityService, req: &Request) -> Response {
+    let (x, y, t) = match (
+        param_usize(req, "x"),
+        param_usize(req, "y"),
+        param_usize(req, "t"),
+    ) {
+        (Ok(x), Ok(y), Ok(t)) => (x, y, t),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return e,
+    };
+    let (value, generation) = svc.density(x, y, t);
+    match value {
+        Some(d) => Response::json(
+            200,
+            &Json::obj([
+                ("x", Json::from(x)),
+                ("y", Json::from(y)),
+                ("t", Json::from(t)),
+                ("density", Json::from(d)),
+                ("generation", Json::from(generation)),
+            ]),
+        ),
+        None => Response::error(
+            400,
+            format!("voxel ({x}, {y}, {t}) outside grid {}", svc.domain().dims()),
+        ),
+    }
+}
+
+fn region(svc: &DensityService, req: &Request) -> Response {
+    let dims = svc.domain().dims();
+    let parse = || -> Result<VoxelRange, Response> {
+        Ok(VoxelRange {
+            x0: param_usize_or(req, "x0", 0)?,
+            x1: param_usize_or(req, "x1", dims.gx)?,
+            y0: param_usize_or(req, "y0", 0)?,
+            y1: param_usize_or(req, "y1", dims.gy)?,
+            t0: param_usize_or(req, "t0", 0)?,
+            t1: param_usize_or(req, "t1", dims.gt)?,
+        })
+    };
+    let r = match parse() {
+        Ok(r) => r,
+        Err(e) => return e,
+    };
+    let clipped = r.clipped(dims);
+    let key = format!(
+        "region:{}-{},{}-{},{}-{}",
+        clipped.x0, clipped.x1, clipped.y0, clipped.y1, clipped.t0, clipped.t1
+    );
+    let body = svc.cached_read(&key, |cube| {
+        let s = cube.cube().density_range(clipped);
+        let empty = s.total == 0;
+        Json::obj([
+            ("x0", Json::from(clipped.x0)),
+            ("x1", Json::from(clipped.x1)),
+            ("y0", Json::from(clipped.y0)),
+            ("y1", Json::from(clipped.y1)),
+            ("t0", Json::from(clipped.t0)),
+            ("t1", Json::from(clipped.t1)),
+            ("sum", Json::from(s.sum)),
+            // ±∞ of an empty box has no JSON encoding; report null.
+            ("max", if empty { Json::Null } else { Json::from(s.max) }),
+            ("min", if empty { Json::Null } else { Json::from(s.min) }),
+            ("nonzero", Json::from(s.nonzero)),
+            ("voxels", Json::from(s.total)),
+            ("generation", Json::from(cube.generation())),
+        ])
+    });
+    Response::json_body(200, body)
+}
+
+fn slice(svc: &DensityService, req: &Request) -> Response {
+    let t = match param_usize(req, "t") {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let dims = svc.domain().dims();
+    if t >= dims.gt {
+        return Response::error(400, format!("t={t} outside grid {dims}"));
+    }
+    let key = format!("slice:{t}");
+    let body = svc.cached_read(&key, |cube| {
+        let values = cube
+            .cube()
+            .density_slice(t)
+            .expect("t bounds checked above")
+            .into_iter()
+            .map(Json::from)
+            .collect();
+        Json::obj([
+            ("t", Json::from(t)),
+            ("gx", Json::from(dims.gx)),
+            ("gy", Json::from(dims.gy)),
+            ("generation", Json::from(cube.generation())),
+            ("values", Json::Arr(values)),
+        ])
+    });
+    Response::json_body(200, body)
+}
+
+/// Parse one event object `{"x": .., "y": .., "t": ..}`.
+fn parse_event(v: &Json) -> Result<Point, String> {
+    let coord = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event needs numeric `{name}`: got {}", v.encode()))
+    };
+    let p = Point::new(coord("x")?, coord("y")?, coord("t")?);
+    if !p.is_finite() {
+        return Err(format!("event has non-finite coordinates: {}", v.encode()));
+    }
+    Ok(p)
+}
+
+fn events(svc: &DensityService, req: &Request) -> Response {
+    let text = match req.body_str() {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, format!("body is not JSON: {e}")),
+    };
+    // Accept one event object, a bare array, or {"events": [...]}.
+    let list: Vec<&Json> = if parsed.get("x").is_some() {
+        vec![&parsed]
+    } else if let Some(arr) = parsed.as_array() {
+        arr.iter().collect()
+    } else if let Some(arr) = parsed.get("events").and_then(Json::as_array) {
+        arr.iter().collect()
+    } else {
+        return Response::error(
+            400,
+            "expected an event object, an array of events, or {\"events\": [...]}",
+        );
+    };
+    let mut points = Vec::with_capacity(list.len());
+    for v in list {
+        match parse_event(v) {
+            Ok(p) => points.push(p),
+            Err(msg) => return Response::error(400, msg),
+        }
+    }
+    match svc.enqueue(points) {
+        Ok(accepted) => Response::json(202, &Json::obj([("accepted", Json::from(accepted))])),
+        Err(e) => Response::error(500, e.to_string()),
+    }
+}
+
+fn shutdown(svc: &DensityService) -> Response {
+    svc.request_shutdown();
+    Response::json(200, &Json::obj([("status", Json::from("shutting down"))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use stkde_grid::{Bandwidth, Domain, GridDims};
+
+    fn request(method: &str, path: &str, query: &[(&str, &str)], body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn service() -> std::sync::Arc<DensityService> {
+        DensityService::start(ServiceConfig::new(
+            Domain::from_dims(GridDims::new(12, 10, 8)),
+            Bandwidth::new(2.0, 1.5),
+            5.0,
+        ))
+    }
+
+    #[test]
+    fn routing_table() {
+        let svc = service();
+        assert_eq!(
+            handle(&svc, &request("GET", "/healthz", &[], "")).status,
+            200
+        );
+        assert_eq!(handle(&svc, &request("GET", "/stats", &[], "")).status, 200);
+        assert_eq!(
+            handle(&svc, &request("POST", "/healthz", &[], "")).status,
+            405
+        );
+        assert_eq!(
+            handle(&svc, &request("GET", "/events", &[], "")).status,
+            405
+        );
+        assert_eq!(handle(&svc, &request("GET", "/nope", &[], "")).status, 404);
+    }
+
+    #[test]
+    fn density_validates_parameters() {
+        let svc = service();
+        let missing = handle(&svc, &request("GET", "/density", &[("x", "1")], ""));
+        assert_eq!(missing.status, 400);
+        let bad = handle(
+            &svc,
+            &request("GET", "/density", &[("x", "a"), ("y", "0"), ("t", "0")], ""),
+        );
+        assert_eq!(bad.status, 400);
+        let oob = handle(
+            &svc,
+            &request(
+                "GET",
+                "/density",
+                &[("x", "99"), ("y", "0"), ("t", "0")],
+                "",
+            ),
+        );
+        assert_eq!(oob.status, 400);
+        let ok = handle(
+            &svc,
+            &request("GET", "/density", &[("x", "3"), ("y", "3"), ("t", "3")], ""),
+        );
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn events_accepts_all_three_shapes() {
+        let svc = service();
+        let single = handle(
+            &svc,
+            &request("POST", "/events", &[], r#"{"x":1.0,"y":2.0,"t":0.5}"#),
+        );
+        assert_eq!(single.status, 202);
+        let bare = handle(
+            &svc,
+            &request("POST", "/events", &[], r#"[{"x":1,"y":2,"t":1.0}]"#),
+        );
+        assert_eq!(bare.status, 202);
+        let wrapped = handle(
+            &svc,
+            &request(
+                "POST",
+                "/events",
+                &[],
+                r#"{"events":[{"x":1,"y":2,"t":1.5},{"x":3,"y":4,"t":2.0}]}"#,
+            ),
+        );
+        assert_eq!(wrapped.status, 202);
+        let garbage = handle(&svc, &request("POST", "/events", &[], "not json"));
+        assert_eq!(garbage.status, 400);
+        let wrong_shape = handle(&svc, &request("POST", "/events", &[], r#"{"a":1}"#));
+        assert_eq!(wrong_shape.status, 400);
+        let non_finite = handle(
+            &svc,
+            &request("POST", "/events", &[], r#"{"x":1,"y":2,"t":1e999}"#),
+        );
+        assert_eq!(non_finite.status, 400);
+    }
+
+    #[test]
+    fn region_defaults_to_full_grid_and_clips() {
+        let svc = service();
+        let full = handle(&svc, &request("GET", "/region", &[], ""));
+        assert_eq!(full.status, 200);
+        let body = Json::parse(std::str::from_utf8(full.body.as_bytes()).unwrap()).unwrap();
+        assert_eq!(body.get("voxels").unwrap().as_u64(), Some(12 * 10 * 8));
+        // Out-of-range bounds clip rather than error.
+        let clipped = handle(&svc, &request("GET", "/region", &[("x1", "999")], ""));
+        let body = Json::parse(std::str::from_utf8(clipped.body.as_bytes()).unwrap()).unwrap();
+        assert_eq!(body.get("x1").unwrap().as_u64(), Some(12));
+        // Inverted bounds are an empty box, not a panic.
+        let inverted = handle(
+            &svc,
+            &request("GET", "/region", &[("x0", "5"), ("x1", "2")], ""),
+        );
+        assert_eq!(inverted.status, 200);
+        let body = Json::parse(std::str::from_utf8(inverted.body.as_bytes()).unwrap()).unwrap();
+        assert_eq!(body.get("voxels").unwrap().as_u64(), Some(0));
+        assert_eq!(body.get("max"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn shutdown_endpoint_raises_the_flag() {
+        let svc = service();
+        assert!(!svc.shutdown_requested());
+        let resp = handle(&svc, &request("POST", "/shutdown", &[], ""));
+        assert_eq!(resp.status, 200);
+        assert!(svc.shutdown_requested());
+    }
+}

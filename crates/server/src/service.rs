@@ -1,0 +1,465 @@
+//! The density service: a [`SlidingWindowStkde`] shared between one
+//! writer and many readers.
+//!
+//! The ingest-then-query split mirrors the serving architecture of
+//! temporal KDE systems: estimation cost is paid once per event on a
+//! dedicated writer thread, then amortized across arbitrarily many
+//! queries. Concretely:
+//!
+//! - **Writers** call [`DensityService::enqueue`], which only pushes onto
+//!   an unbounded channel — ingestion never blocks on the cube lock.
+//! - **The writer thread** drains the channel, sorts the drained batch by
+//!   time, drops events that arrive behind the window head (stale), and
+//!   applies the rest with [`SlidingWindowStkde::push_batch`] under a
+//!   *single* write-lock acquisition — N cylinders per lock, not one.
+//! - **Readers** take the read lock concurrently; region and slice
+//!   results are memoized in an LRU keyed on `(query, generation)`, so a
+//!   cache entry can never outlive the cube state it was computed from.
+
+use crate::cache::LruCache;
+use crate::json::Json;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use stkde_core::SlidingWindowStkde;
+use stkde_data::Point;
+use stkde_grid::{Bandwidth, Domain, GridStats, VoxelRange};
+
+/// Configuration of a [`DensityService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The discretized space-time domain of the cube.
+    pub domain: Domain,
+    /// Kernel bandwidths (world units).
+    pub bandwidth: Bandwidth,
+    /// Sliding-window length (time units).
+    pub window: f64,
+    /// Drift-correcting rebuild cadence in insert/evict pairs
+    /// (`None` = never; the serving cube is `f64`, where drift is ULPs).
+    pub auto_rebuild_every: Option<usize>,
+    /// LRU capacity for region/slice responses (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Largest coalesced batch the writer applies per lock acquisition.
+    pub ingest_batch_cap: usize,
+}
+
+impl ServiceConfig {
+    /// A config with serving defaults: cache 64 entries, coalesce up to
+    /// 1024 events per write-lock acquisition, no auto-rebuild.
+    pub fn new(domain: Domain, bandwidth: Bandwidth, window: f64) -> Self {
+        Self {
+            domain,
+            bandwidth,
+            window,
+            auto_rebuild_every: None,
+            cache_capacity: 64,
+            ingest_batch_cap: 1024,
+        }
+    }
+}
+
+/// Ingest/serve counters, shared with the writer thread.
+#[derive(Debug, Default)]
+struct Counters {
+    /// Events accepted by `enqueue` (finite coordinates).
+    received: AtomicU64,
+    /// Events rasterized into the cube.
+    applied: AtomicU64,
+    /// Events dropped because they arrived behind the window head.
+    stale: AtomicU64,
+    /// Events that aged out within their own batch (never rasterized).
+    aged_in_batch: AtomicU64,
+    /// Stored events evicted by window advance.
+    evicted: AtomicU64,
+    /// Write-lock acquisitions (coalesced batches applied).
+    batches: AtomicU64,
+}
+
+/// The long-running density service. Cheap to share: wrap in an [`Arc`]
+/// (as [`DensityService::start`] does) and clone handles freely.
+#[derive(Debug)]
+pub struct DensityService {
+    cube: Arc<RwLock<SlidingWindowStkde<f64>>>,
+    tx: Mutex<Option<Sender<Vec<Point>>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    cache: Mutex<LruCache<(String, u64), Arc<str>>>,
+    counters: Arc<Counters>,
+    shutdown_requested: AtomicBool,
+    domain: Domain,
+    window: f64,
+    started: Instant,
+}
+
+impl DensityService {
+    /// Build the cube, spawn the writer thread, and return the service.
+    pub fn start(config: ServiceConfig) -> Arc<Self> {
+        let mut cube =
+            SlidingWindowStkde::<f64>::new(config.domain, config.bandwidth, config.window);
+        if let Some(n) = config.auto_rebuild_every {
+            cube = cube.auto_rebuild_every(n);
+        }
+        let cube = Arc::new(RwLock::new(cube));
+        let counters = Arc::new(Counters::default());
+        let (tx, rx) = mpsc::channel::<Vec<Point>>();
+
+        let writer = {
+            let cube = Arc::clone(&cube);
+            let counters = Arc::clone(&counters);
+            let batch_cap = config.ingest_batch_cap.max(1);
+            std::thread::Builder::new()
+                .name("stkde-ingest".into())
+                .spawn(move || writer_loop(&rx, &cube, &counters, batch_cap))
+                .expect("spawn ingest writer")
+        };
+
+        Arc::new(Self {
+            cube,
+            tx: Mutex::new(Some(tx)),
+            writer: Mutex::new(Some(writer)),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            counters,
+            shutdown_requested: AtomicBool::new(false),
+            domain: config.domain,
+            window: config.window,
+            started: Instant::now(),
+        })
+    }
+
+    /// The cube's domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Queue events for ingestion. Never blocks on the cube; returns the
+    /// number of events accepted after dropping non-finite coordinates.
+    ///
+    /// # Errors
+    /// Fails once shutdown has begun.
+    pub fn enqueue(&self, mut events: Vec<Point>) -> Result<usize, ShutdownError> {
+        events.retain(Point::is_finite);
+        let n = events.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else {
+            return Err(ShutdownError);
+        };
+        // Count before sending so `is_drained` can never report quiescence
+        // while this batch is still in flight.
+        self.counters
+            .received
+            .fetch_add(n as u64, Ordering::Release);
+        if tx.send(events).is_err() {
+            self.counters
+                .received
+                .fetch_sub(n as u64, Ordering::Release);
+            return Err(ShutdownError);
+        }
+        Ok(n)
+    }
+
+    /// Run `f` against the live cube under the read lock.
+    pub fn read<R>(&self, f: impl FnOnce(&SlidingWindowStkde<f64>) -> R) -> R {
+        f(&self.cube.read())
+    }
+
+    /// The cube's current generation (see
+    /// [`stkde_core::IncrementalStkde::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.cube.read().generation()
+    }
+
+    /// Bounds-checked voxel density read, plus the generation it was
+    /// read at.
+    pub fn density(&self, x: usize, y: usize, t: usize) -> (Option<f64>, u64) {
+        let cube = self.cube.read();
+        (cube.cube().density_checked(x, y, t), cube.generation())
+    }
+
+    /// Normalized aggregate over a voxel box (see
+    /// [`stkde_core::IncrementalStkde::density_range`]).
+    pub fn region(&self, r: VoxelRange) -> GridStats {
+        self.cube.read().cube().density_range(r)
+    }
+
+    /// Serve `key` from the LRU if the cube generation still matches,
+    /// else compute it under the read lock and memoize. The cache holds
+    /// the *encoded* response body, so a hit is one `Arc` clone — no Json
+    /// tree clone and no re-serialization per request.
+    pub fn cached_read(
+        &self,
+        key: &str,
+        compute: impl FnOnce(&SlidingWindowStkde<f64>) -> Json,
+    ) -> Arc<str> {
+        let cube = self.cube.read();
+        let full_key = (key.to_string(), cube.generation());
+        if let Some(hit) = self.cache.lock().get(&full_key) {
+            return hit;
+        }
+        let encoded: Arc<str> = compute(&cube).encode().into();
+        drop(cube);
+        self.cache.lock().insert(full_key, Arc::clone(&encoded));
+        encoded
+    }
+
+    /// Service counters as a JSON object (the `/stats` payload).
+    pub fn stats_json(&self) -> Json {
+        let (live, generation, rebuilds) = {
+            let cube = self.cube.read();
+            (cube.len(), cube.generation(), cube.rebuilds())
+        };
+        let cache = self.cache.lock();
+        let dims = self.domain.dims();
+        let c = &self.counters;
+        Json::obj([
+            (
+                "events_received",
+                Json::from(c.received.load(Ordering::Relaxed)),
+            ),
+            (
+                "events_applied",
+                Json::from(c.applied.load(Ordering::Relaxed)),
+            ),
+            ("events_stale", Json::from(c.stale.load(Ordering::Relaxed))),
+            (
+                "events_aged_in_batch",
+                Json::from(c.aged_in_batch.load(Ordering::Relaxed)),
+            ),
+            (
+                "events_evicted",
+                Json::from(c.evicted.load(Ordering::Relaxed)),
+            ),
+            (
+                "ingest_batches",
+                Json::from(c.batches.load(Ordering::Relaxed)),
+            ),
+            ("live_events", Json::from(live)),
+            ("generation", Json::from(generation)),
+            ("rebuilds", Json::from(rebuilds)),
+            ("window", Json::from(self.window)),
+            (
+                "dims",
+                Json::obj([
+                    ("gx", Json::from(dims.gx)),
+                    ("gy", Json::from(dims.gy)),
+                    ("gt", Json::from(dims.gt)),
+                ]),
+            ),
+            ("cache_entries", Json::from(cache.len())),
+            ("cache_hits", Json::from(cache.hits())),
+            ("cache_misses", Json::from(cache.misses())),
+            (
+                "uptime_seconds",
+                Json::from(self.started.elapsed().as_secs_f64()),
+            ),
+        ])
+    }
+
+    /// `true` once every queued event has been applied (or dropped as
+    /// stale). Lets callers await ingest quiescence without sleeping on a
+    /// magic number.
+    pub fn is_drained(&self) -> bool {
+        let c = &self.counters;
+        let settled = c.applied.load(Ordering::Acquire)
+            + c.stale.load(Ordering::Acquire)
+            + c.aged_in_batch.load(Ordering::Acquire);
+        settled == c.received.load(Ordering::Acquire)
+    }
+
+    /// Block (politely) until ingest is quiescent. Intended for tests,
+    /// examples, and probes that want read-your-writes; a serving client
+    /// would instead poll `/stats` until `events_applied` catches up.
+    pub fn wait_drained(&self) {
+        while !self.is_drained() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Ask the hosting process to stop (`POST /shutdown` sets this; the
+    /// daemon's main loop polls it).
+    pub fn request_shutdown(&self) {
+        self.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`request_shutdown`](Self::request_shutdown) ran.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting events, let the writer drain
+    /// everything already queued, and join it. Idempotent.
+    pub fn shutdown(&self) {
+        // Dropping the sender ends the writer's `recv` loop *after* the
+        // queued batches: `mpsc` delivers everything sent before the
+        // disconnect.
+        drop(self.tx.lock().take());
+        if let Some(writer) = self.writer.lock().take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl Drop for DensityService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Error returned by [`DensityService::enqueue`] after shutdown began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownError;
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service is shutting down")
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+fn writer_loop(
+    rx: &Receiver<Vec<Point>>,
+    cube: &RwLock<SlidingWindowStkde<f64>>,
+    counters: &Counters,
+    batch_cap: usize,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = first;
+        // Coalesce: drain whatever else is already queued, up to the cap,
+        // so the write lock is taken once per burst instead of per event.
+        while batch.len() < batch_cap {
+            match rx.try_recv() {
+                Ok(mut more) => batch.append(&mut more),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        batch.sort_by(|a, b| a.t.total_cmp(&b.t));
+
+        let mut cube = cube.write();
+        // Events behind the window head would trip the time-ordering
+        // contract; a serving system drops them as stale instead.
+        let stale = match cube.newest_time() {
+            Some(newest) => batch.partition_point(|p| p.t < newest),
+            None => 0,
+        };
+        let result = cube.push_batch(&batch[stale..]);
+        drop(cube);
+
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.stale.fetch_add(stale as u64, Ordering::Relaxed);
+        counters
+            .evicted
+            .fetch_add(result.evicted as u64, Ordering::Relaxed);
+        counters
+            .aged_in_batch
+            .fetch_add(result.skipped as u64, Ordering::Release);
+        counters
+            .applied
+            .fetch_add(result.inserted as u64, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkde_grid::GridDims;
+
+    fn config() -> ServiceConfig {
+        ServiceConfig::new(
+            Domain::from_dims(GridDims::new(16, 16, 12)),
+            Bandwidth::new(3.0, 2.0),
+            6.0,
+        )
+    }
+
+    fn drain(svc: &DensityService) {
+        for _ in 0..2000 {
+            if svc.is_drained() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("ingest did not drain");
+    }
+
+    #[test]
+    fn enqueue_applies_and_generation_advances() {
+        let svc = DensityService::start(config());
+        let g0 = svc.generation();
+        svc.enqueue(vec![Point::new(8.0, 8.0, 2.0)]).unwrap();
+        drain(&svc);
+        assert!(svc.generation() > g0);
+        let (d, _) = svc.density(8, 8, 2);
+        assert!(d.unwrap() > 0.0);
+        assert_eq!(svc.density(99, 0, 0).0, None);
+    }
+
+    #[test]
+    fn non_finite_and_stale_events_are_dropped_not_fatal() {
+        let svc = DensityService::start(config());
+        let accepted = svc
+            .enqueue(vec![
+                Point::new(f64::NAN, 1.0, 1.0),
+                Point::new(4.0, 4.0, 5.0),
+            ])
+            .unwrap();
+        assert_eq!(accepted, 1);
+        drain(&svc);
+        // Arrives behind the window head: dropped as stale, service lives on.
+        svc.enqueue(vec![Point::new(4.0, 4.0, 1.0)]).unwrap();
+        drain(&svc);
+        let stats = svc.stats_json();
+        assert_eq!(stats.get("events_stale").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("events_applied").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("live_events").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn cached_read_hits_within_generation_and_misses_across() {
+        let svc = DensityService::start(config());
+        svc.enqueue(vec![Point::new(8.0, 8.0, 2.0)]).unwrap();
+        drain(&svc);
+        let computed = std::cell::Cell::new(0);
+        let read = || {
+            svc.cached_read("k", |cube| {
+                computed.set(computed.get() + 1);
+                Json::from(cube.generation())
+            })
+        };
+        let a = read();
+        let b = read();
+        assert_eq!(a, b);
+        assert_eq!(computed.get(), 1, "second read must be a cache hit");
+        svc.enqueue(vec![Point::new(8.0, 8.0, 3.0)]).unwrap();
+        drain(&svc);
+        let c = read();
+        assert_ne!(a, c, "write must invalidate via the generation key");
+        assert_eq!(computed.get(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_events_then_rejects() {
+        let svc = DensityService::start(config());
+        for k in 0..50 {
+            svc.enqueue(vec![Point::new(8.0, 8.0, 0.1 * k as f64)])
+                .unwrap();
+        }
+        svc.shutdown();
+        assert!(
+            svc.is_drained(),
+            "queued events must be applied before join"
+        );
+        assert_eq!(
+            svc.enqueue(vec![Point::new(1.0, 1.0, 9.0)]),
+            Err(ShutdownError)
+        );
+        let stats = svc.stats_json();
+        // Coalescing: 50 sends must need far fewer lock acquisitions.
+        let batches = stats.get("ingest_batches").unwrap().as_u64().unwrap();
+        assert!(batches <= 50);
+    }
+}

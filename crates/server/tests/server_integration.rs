@@ -1,0 +1,278 @@
+//! End-to-end tests of the serve path: every endpoint's JSON must agree
+//! with direct `Grid3` reads of a batch recomputation over the same
+//! points, and the service must stay consistent under concurrent
+//! readers while ingest is running.
+
+use std::sync::Arc;
+use stkde_core::algorithms::pb_sym;
+use stkde_core::Problem;
+use stkde_data::{synth, Point};
+use stkde_grid::{stats, Bandwidth, Domain, Grid3, GridDims, VoxelRange};
+use stkde_kernels::Epanechnikov;
+use stkde_server::json::Json;
+use stkde_server::{Client, ServiceConfig, StkdeServer};
+
+fn domain() -> Domain {
+    Domain::from_dims(GridDims::new(24, 20, 16))
+}
+
+fn bandwidth() -> Bandwidth {
+    Bandwidth::new(3.0, 2.0)
+}
+
+/// A time-sorted synthetic stream inside the domain.
+fn stream(n: usize, seed: u64) -> Vec<Point> {
+    let mut points = synth::uniform(n, domain().extent(), seed).into_vec();
+    points.sort_by(|a, b| a.t.total_cmp(&b.t));
+    points
+}
+
+/// Batch `PB-SYM` over `points` — the gold standard the server must match.
+fn batch_reference(points: &[Point]) -> Grid3<f64> {
+    let problem = Problem::new(domain(), bandwidth(), points.len());
+    pb_sym::run::<f64, _>(&problem, &Epanechnikov, points).0
+}
+
+fn start_server(window: f64) -> StkdeServer {
+    let config = ServiceConfig::new(domain(), bandwidth(), window);
+    StkdeServer::start("127.0.0.1:0", 4, config).expect("bind ephemeral port")
+}
+
+fn post_events(client: &Client, chunk: &[Point]) {
+    let events = Json::Arr(
+        chunk
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("x", Json::from(p.x)),
+                    ("y", Json::from(p.y)),
+                    ("t", Json::from(p.t)),
+                ])
+            })
+            .collect(),
+    );
+    let (status, body) = client
+        .post_json("/events", &Json::obj([("events", events)]))
+        .expect("POST /events");
+    assert_eq!(status, 202, "body: {}", body.encode());
+    assert_eq!(
+        body.get("accepted").unwrap().as_u64(),
+        Some(chunk.len() as u64)
+    );
+}
+
+#[test]
+fn every_endpoint_agrees_with_direct_grid_reads() {
+    // Window longer than the stream: every event survives, so the batch
+    // recomputation over all points is the exact reference.
+    let server = start_server(1e6);
+    let client = Client::new(server.addr());
+    let points = stream(60, 71);
+    for chunk in points.chunks(17) {
+        post_events(&client, chunk);
+    }
+    server.service().wait_drained();
+    let reference = batch_reference(&points);
+
+    // /healthz
+    let (status, health) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+
+    // /stats: everything applied, nothing dropped.
+    let (status, s) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(s.get("events_applied").unwrap().as_u64(), Some(60));
+    assert_eq!(s.get("events_stale").unwrap().as_u64(), Some(0));
+    assert_eq!(s.get("live_events").unwrap().as_u64(), Some(60));
+
+    // /density at every voxel of a probe set: the hottest voxels plus
+    // corners.
+    let mut probes: Vec<(usize, usize, usize)> = stats::top_k(&reference, 5)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+    probes.extend([(0, 0, 0), (23, 19, 15), (12, 10, 8)]);
+    for (x, y, t) in probes {
+        let (status, d) = client.get(&format!("/density?x={x}&y={y}&t={t}")).unwrap();
+        assert_eq!(status, 200);
+        let got = d.get("density").unwrap().as_f64().unwrap();
+        let want = reference.get(x, y, t);
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "voxel ({x},{y},{t}): server {got} vs batch {want}"
+        );
+    }
+
+    // /region: sub-boxes and the default full grid must match
+    // `range_stats` on the reference cube.
+    let boxes = [
+        ("", VoxelRange::full(domain().dims())),
+        (
+            "?x0=2&x1=14&y0=1&y1=11&t0=3&t1=9",
+            VoxelRange {
+                x0: 2,
+                x1: 14,
+                y0: 1,
+                y1: 11,
+                t0: 3,
+                t1: 9,
+            },
+        ),
+        (
+            "?x0=20&t1=4",
+            VoxelRange {
+                x0: 20,
+                x1: 24,
+                y0: 0,
+                y1: 20,
+                t0: 0,
+                t1: 4,
+            },
+        ),
+    ];
+    for (query, r) in boxes {
+        let (status, body) = client.get(&format!("/region{query}")).unwrap();
+        assert_eq!(status, 200);
+        let want = stats::range_stats(&reference, r);
+        let got_sum = body.get("sum").unwrap().as_f64().unwrap();
+        let got_max = body.get("max").unwrap().as_f64().unwrap();
+        assert!(
+            (got_sum - want.sum).abs() <= 1e-9 * want.sum.abs().max(1.0),
+            "region {query}: sum {got_sum} vs {}",
+            want.sum
+        );
+        assert!((got_max - want.max).abs() <= 1e-9 * want.max.abs().max(1.0));
+        assert_eq!(
+            body.get("nonzero").unwrap().as_u64(),
+            Some(want.nonzero as u64)
+        );
+        assert_eq!(
+            body.get("voxels").unwrap().as_u64(),
+            Some(want.total as u64)
+        );
+    }
+
+    // /slice: a full time plane equals the reference's plane.
+    let t = 8;
+    let (status, body) = client.get(&format!("/slice?t={t}")).unwrap();
+    assert_eq!(status, 200);
+    let values = body.get("values").unwrap().as_array().unwrap();
+    let plane = reference.time_slice(t);
+    assert_eq!(values.len(), plane.len());
+    for (i, (got, &want)) in values.iter().zip(plane).enumerate() {
+        let got = got.as_f64().unwrap();
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "slice voxel {i}: {got} vs {want}"
+        );
+    }
+
+    // A second identical region read must be served from the cache.
+    let before = client.get("/stats").unwrap().1;
+    let _ = client
+        .get("/region?x0=2&x1=14&y0=1&y1=11&t0=3&t1=9")
+        .unwrap();
+    let after = client.get("/stats").unwrap().1;
+    assert!(
+        after.get("cache_hits").unwrap().as_u64() > before.get("cache_hits").unwrap().as_u64(),
+        "repeated region query should hit the LRU"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn windowed_serving_matches_batch_over_survivors() {
+    // Short window: the server evicts; the reference is a batch over the
+    // surviving suffix only.
+    let window = 4.0;
+    let server = start_server(window);
+    let client = Client::new(server.addr());
+    let points = stream(80, 72);
+    for chunk in points.chunks(13) {
+        post_events(&client, chunk);
+    }
+    server.service().wait_drained();
+
+    let newest = points.last().unwrap().t;
+    let survivors: Vec<Point> = points
+        .iter()
+        .filter(|p| p.t >= newest - window)
+        .copied()
+        .collect();
+    let reference = batch_reference(&survivors);
+
+    let (_, s) = client.get("/stats").unwrap();
+    assert_eq!(
+        s.get("live_events").unwrap().as_u64(),
+        Some(survivors.len() as u64)
+    );
+
+    for ((x, y, t), want) in stats::top_k(&reference, 4) {
+        let (status, d) = client.get(&format!("/density?x={x}&y={y}&t={t}")).unwrap();
+        assert_eq!(status, 200);
+        let got = d.get("density").unwrap().as_f64().unwrap();
+        assert!(
+            (got - want).abs() <= 1e-8 * want.abs().max(1.0),
+            "voxel ({x},{y},{t}): server {got} vs batch-over-survivors {want}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_readers_during_ingest_see_monotone_generations() {
+    let server = start_server(1e6);
+    let addr = server.addr();
+    let points = stream(120, 73);
+    let total = points.len();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let client = Client::new(addr);
+                let mut last_generation = 0u64;
+                let mut reads = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let path = match reads % 3 {
+                        0 => "/density?x=12&y=10&t=8".to_string(),
+                        1 => format!("/region?x0={}&x1=20", r % 4),
+                        _ => "/stats".to_string(),
+                    };
+                    let (status, body) = client.get(&path).expect("read during ingest");
+                    assert_eq!(status, 200, "reader {r} got {}", body.encode());
+                    let generation = body.get("generation").unwrap().as_u64().unwrap();
+                    assert!(
+                        generation >= last_generation,
+                        "reader {r}: generation went backwards ({generation} < {last_generation})"
+                    );
+                    last_generation = generation;
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    let ingest_client = Client::new(addr);
+    for chunk in points.chunks(5) {
+        post_events(&ingest_client, chunk);
+    }
+    server.service().wait_drained();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for (r, handle) in readers.into_iter().enumerate() {
+        let reads = handle.join().expect("reader panicked");
+        assert!(reads > 0, "reader {r} never completed a read");
+    }
+
+    let (_, s) = ingest_client.get("/stats").unwrap();
+    assert_eq!(
+        s.get("events_applied").unwrap().as_u64(),
+        Some(total as u64)
+    );
+    // Shutdown with no readers left must not deadlock.
+    server.shutdown();
+}

@@ -1,9 +1,9 @@
 //! Offline stand-in for [parking_lot](https://crates.io/crates/parking_lot),
 //! backed by `std::sync`. It reproduces the parking_lot ergonomics the
-//! workspace relies on: `Mutex::lock` returns the guard directly (no
-//! poisoning — a poisoned std lock is transparently recovered, matching
-//! parking_lot's "poisoning does not exist" semantics), and
-//! `Condvar::wait` takes `&mut MutexGuard`.
+//! workspace relies on: `Mutex::lock` / `RwLock::read` / `RwLock::write`
+//! return the guard directly (no poisoning — a poisoned std lock is
+//! transparently recovered, matching parking_lot's "poisoning does not
+//! exist" semantics), and `Condvar::wait` takes `&mut MutexGuard`.
 
 use std::ops::{Deref, DerefMut};
 
@@ -69,6 +69,94 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// A reader-writer lock without poisoning.
+///
+/// `read`/`write` return the guards directly, matching parking_lot; a
+/// poisoned std lock is transparently recovered (a panicking reader or
+/// writer leaves the data in whatever state it reached, exactly as
+/// parking_lot would).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a reader-writer lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard { inner: guard }
+    }
+
+    /// Acquire exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard { inner: guard }
+    }
+
+    /// Get a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Shared-access RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-access RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 /// A condition variable matching parking_lot's `wait(&mut guard)` shape.
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -116,6 +204,19 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn rwlock_shared_reads_and_exclusive_write() {
+        let l = RwLock::new(7);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() += 35;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
     }
 
     #[test]
