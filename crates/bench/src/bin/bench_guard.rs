@@ -1,0 +1,164 @@
+//! CI bench regression guard.
+//!
+//! Usage: `bench_guard <current.jsonl> <baseline.jsonl> [max_ratio]`
+//!
+//! Both files hold one JSON object per line, as emitted by the criterion
+//! shim under `STKDE_BENCH_JSON`: `{"id":"group/name","best_s":1.2e-3}`.
+//! For every benchmark id present in *both* files the guard computes
+//!
+//! ```text
+//! ratio = (current / current_calib) / (baseline / baseline_calib)
+//! ```
+//!
+//! where `*_calib` is the fixed single-thread arithmetic burn recorded as
+//! `work_stealing_t8/calib` — normalizing by it makes the committed
+//! baseline portable across machines of different *single-thread* speed.
+//! If calibration is missing on either side the raw time ratio is used.
+//! Any benchmark slower than `max_ratio` (default 2.0) fails the run with
+//! exit code 1.
+//!
+//! Calibration cannot correct for a different *core count* (the baseline
+//! is recorded wherever it was recorded; multithreaded benches scale with
+//! cores while the calib burn does not), so cross-run ratios can under-
+//! flag a scheduling regression on beefier CI hosts. The scheduler is
+//! therefore additionally guarded by an in-run invariant that is
+//! machine-independent: the work-stealing execution of the parity-class
+//! workload must not be slower than the static-split baseline measured in
+//! the *same* process. If stealing loses to static splitting, scheduling
+//! has regressed, whatever the host.
+//!
+//! Ids only present on one side are reported but never fail the run, so
+//! adding or retiring benchmarks does not require touching the baseline
+//! in the same change.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const CALIB_ID: &str = "work_stealing_t8/calib";
+const STEAL_ID: &str = "work_stealing_t8/parity_classes_steal";
+const STATIC_ID: &str = "work_stealing_t8/parity_classes_static_split";
+const DEFAULT_MAX_RATIO: f64 = 2.0;
+
+/// Extract `"key":<string>` and `"key":<number>` from one flat JSON line.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let id_key = "\"id\":\"";
+    let start = line.find(id_key)? + id_key.len();
+    let end = start + line[start..].find('"')?;
+    let id = line[start..end].to_string();
+
+    let best_key = "\"best_s\":";
+    let vstart = line.find(best_key)? + best_key.len();
+    let rest = &line[vstart..];
+    let vend = rest.find([',', '}']).unwrap_or(rest.len());
+    let best_s = rest[..vend].trim().parse::<f64>().ok()?;
+    (best_s.is_finite() && best_s > 0.0).then_some((id, best_s))
+}
+
+/// Last-write-wins map of benchmark id -> best seconds.
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some((id, s)) => {
+                map.insert(id, s);
+            }
+            None => return Err(format!("{path}: unparsable bench record: {line}")),
+        }
+    }
+    if map.is_empty() {
+        return Err(format!("{path}: no benchmark records"));
+    }
+    Ok(map)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match args.as_slice() {
+        [c, b] | [c, b, _] => (c.as_str(), b.as_str()),
+        _ => {
+            eprintln!("usage: bench_guard <current.jsonl> <baseline.jsonl> [max_ratio]");
+            return ExitCode::from(2);
+        }
+    };
+    let max_ratio = args
+        .get(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_MAX_RATIO);
+
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_guard: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    // Machine-speed normalization via the fixed arithmetic burn.
+    let speed = match (current.get(CALIB_ID), baseline.get(CALIB_ID)) {
+        (Some(&c), Some(&b)) => {
+            println!("calibration {CALIB_ID}: current {c:.3e}s, baseline {b:.3e}s");
+            c / b
+        }
+        _ => {
+            println!("calibration {CALIB_ID} missing on one side; using raw ratios");
+            1.0
+        }
+    };
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<45} {:>12} {:>12} {:>8}",
+        "benchmark", "current", "baseline", "ratio"
+    );
+    for (id, &cur) in &current {
+        if id == CALIB_ID {
+            continue;
+        }
+        let Some(&base) = baseline.get(id) else {
+            println!("{id:<45} {cur:>12.3e} {:>12} {:>8}", "(new)", "-");
+            continue;
+        };
+        let ratio = (cur / base) / speed;
+        let flag = if ratio > max_ratio { " REGRESSION" } else { "" };
+        println!("{id:<45} {cur:>12.3e} {base:>12.3e} {ratio:>8.2}{flag}");
+        if ratio > max_ratio {
+            failures.push((id.clone(), ratio));
+        }
+    }
+    for id in baseline.keys() {
+        if id != CALIB_ID && !current.contains_key(id) {
+            println!("{id:<45} {:>12} (baseline only)", "-");
+        }
+    }
+
+    // In-run scheduler invariant (core-count independent, see module docs):
+    // work stealing must beat the spawn-per-phase static split it replaced.
+    if let (Some(&steal), Some(&stat)) = (current.get(STEAL_ID), current.get(STATIC_ID)) {
+        let ratio = steal / stat;
+        println!("scheduler invariant: steal/static = {ratio:.2} (must be < 1.0)");
+        if ratio >= 1.0 {
+            failures.push(("steal/static in-run invariant".to_string(), ratio));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_guard: OK (threshold {max_ratio}x, speed factor {speed:.2})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_guard: {} benchmark(s) regressed beyond {max_ratio}x:",
+            failures.len()
+        );
+        for (id, ratio) in &failures {
+            eprintln!("  {id}: {ratio:.2}x");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -46,9 +46,16 @@ pub fn run<S: Scalar, K: SpaceTimeKernel>(
             let shared = &shared;
             let decomposition = &decomposition;
             let bins = &bins;
-            (0..decomposition.count()).into_par_iter().for_each_init(
-                Scratch::default,
-                |scratch, sd| {
+            // Heaviest subdomain first (LPT order): with replicated
+            // binning the per-subdomain point counts are exactly the task
+            // costs, and the work-stealing pool balances whatever the
+            // descending order leaves over. Subdomain writes are disjoint,
+            // so the reordering cannot change the result.
+            let mut order: Vec<usize> = (0..decomposition.count()).collect();
+            order.sort_by_key(|&sd| std::cmp::Reverse(bins.points_of(SubdomainId(sd)).len()));
+            order
+                .into_par_iter()
+                .for_each_init(Scratch::default, |scratch, sd| {
                     let id = SubdomainId(sd);
                     // Writes are clipped to the subdomain's own voxel range,
                     // which is disjoint from every other subdomain's.
@@ -70,8 +77,7 @@ pub fn run<S: Scalar, K: SpaceTimeKernel>(
                             );
                         }
                     }
-                },
-            );
+                });
         }
         let compute = sw.lap();
 

@@ -26,7 +26,14 @@ pub mod pd_sched;
 
 use crate::error::StkdeError;
 
-/// Build a dedicated rayon pool with exactly `threads` workers.
+/// A rayon pool handle with exactly `threads` workers.
+///
+/// Cheap to call per run: the rayon shim keeps one persistent named
+/// worker set per thread count, so after the first request for a given
+/// `threads` this is a map lookup — estimation paths no longer pay
+/// thread-spawn latency on every invocation, and `install` pins the whole
+/// computation (splitting, stealing, ambient `current_num_threads`) to
+/// that worker set.
 pub(crate) fn make_pool(threads: usize) -> Result<rayon::ThreadPool, StkdeError> {
     if threads == 0 {
         return Err(StkdeError::InvalidConfig("threads must be > 0".into()));

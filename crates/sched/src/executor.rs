@@ -6,6 +6,22 @@
 //! grab the highest-priority ready task — i.e. the executor *is* a list
 //! scheduler, so Graham's `T_P ≤ (T₁−T∞)/P + T∞` guarantee applies.
 //!
+//! The worker loops run as `rayon::scope` tasks on the shim's persistent
+//! work-stealing pool of the requested size (pools are cached per thread
+//! count), so repeated `run_dag` calls — the serve path re-plans per
+//! generation — pay no thread-spawn cost after the first. Every loop
+//! processes ready tasks to exhaustion and returns as soon as the DAG is
+//! drained, so the scope completes even if fewer than `threads` loops ever
+//! get a pool worker to themselves (e.g. under `RAYON_NUM_THREADS=1`).
+//!
+//! Because equal-sized pools share one worker set, a loop must never park
+//! a pool worker for the whole run: an unrelated `join` waiting nearby
+//! could help-steal the loop job and would then be pinned until the DAG
+//! drains. Instead a loop that finds no ready task waits on the condvar
+//! for at most [`IDLE_WAIT`], then *returns after respawning itself* —
+//! handing its pool worker back to whatever computation it interrupted,
+//! while the respawned pass (an ordinary stealable job) resumes the DAG.
+//!
 //! Panics inside tasks are caught, poison the run, and are re-thrown on the
 //! calling thread after all workers have drained (no deadlocks, no lost
 //! workers).
@@ -36,6 +52,103 @@ struct SharedState {
     ready: BinaryHeap<(OrdF64, Reverse<usize>)>,
     remaining: usize,
     panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Longest a worker pass may park a pool worker while the ready heap is
+/// empty but tasks are in flight (see module docs).
+const IDLE_WAIT: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Everything a worker pass needs, bundled so passes can respawn
+/// themselves through `Scope::spawn` without capturing a dozen refs.
+struct ExecCtx<'a, F> {
+    state: Mutex<SharedState>,
+    cv: Condvar,
+    in_deg: Vec<AtomicUsize>,
+    dag: &'a TaskDag,
+    priority: &'a [f64],
+    task_fn: F,
+}
+
+/// Outcome of one worker pass.
+#[derive(PartialEq, Eq)]
+enum Pass {
+    /// The DAG is drained (or poisoned); do not respawn.
+    Finished,
+    /// Nothing ready right now but tasks are in flight: hand the pool
+    /// worker back and resume in a fresh job.
+    Again,
+}
+
+/// Run ready tasks until the DAG drains or a brief idle wait expires.
+fn worker_pass<F: Fn(usize) + Sync>(ctx: &ExecCtx<'_, F>) -> Pass {
+    loop {
+        // Acquire a task (or learn that the run is over / currently dry).
+        let task = {
+            let mut s = ctx.state.lock();
+            if s.remaining == 0 || s.panic_payload.is_some() {
+                return Pass::Finished;
+            }
+            match s.ready.pop() {
+                Some((_, Reverse(v))) => v,
+                None => {
+                    ctx.cv.wait_for(&mut s, IDLE_WAIT);
+                    if s.remaining == 0 || s.panic_payload.is_some() {
+                        return Pass::Finished;
+                    }
+                    match s.ready.pop() {
+                        Some((_, Reverse(v))) => v,
+                        None => return Pass::Again,
+                    }
+                }
+            }
+        };
+
+        // Run it outside the lock.
+        let result = catch_unwind(AssertUnwindSafe(|| (ctx.task_fn)(task)));
+
+        match result {
+            Ok(()) => {
+                // Release successors.
+                for &succ in ctx.dag.succs(task) {
+                    let succ = succ as usize;
+                    if ctx.in_deg[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let mut s = ctx.state.lock();
+                        s.ready.push((OrdF64(ctx.priority[succ]), Reverse(succ)));
+                        drop(s);
+                        ctx.cv.notify_one();
+                    }
+                }
+                let mut s = ctx.state.lock();
+                s.remaining -= 1;
+                if s.remaining == 0 {
+                    drop(s);
+                    ctx.cv.notify_all();
+                }
+            }
+            Err(payload) => {
+                let mut s = ctx.state.lock();
+                if s.panic_payload.is_none() {
+                    s.panic_payload = Some(payload);
+                }
+                drop(s);
+                ctx.cv.notify_all();
+                return Pass::Finished;
+            }
+        }
+    }
+}
+
+/// Spawn one self-respawning worker pass onto the scope.
+fn spawn_pass<'scope, 'a, F>(ctx: &'scope ExecCtx<'a, F>, scope: &rayon::Scope<'scope>)
+where
+    'a: 'scope,
+    F: Fn(usize) + Sync + 'scope,
+{
+    scope.spawn(move |scope| {
+        if worker_pass(ctx) == Pass::Again {
+            spawn_pass(ctx, scope);
+        }
+    });
 }
 
 /// Execute every task of `dag` on `threads` worker threads, respecting
@@ -70,81 +183,33 @@ where
         "DAG with tasks but no source vertices (cycle)"
     );
 
-    let state = Mutex::new(SharedState {
-        ready: ready0,
-        remaining: n,
-        panic_payload: None,
-    });
-    let cv = Condvar::new();
-
-    let worker = |_wid: usize| {
-        loop {
-            // Acquire a task (or learn that the run is over).
-            let task = {
-                let mut s = state.lock();
-                loop {
-                    if s.remaining == 0 || s.panic_payload.is_some() {
-                        return;
-                    }
-                    if let Some((_, Reverse(v))) = s.ready.pop() {
-                        break v;
-                    }
-                    cv.wait(&mut s);
-                }
-            };
-
-            // Run it outside the lock.
-            let result = catch_unwind(AssertUnwindSafe(|| task_fn(task)));
-
-            match result {
-                Ok(()) => {
-                    // Release successors.
-                    for &succ in dag.succs(task) {
-                        let succ = succ as usize;
-                        if in_deg[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            let mut s = state.lock();
-                            s.ready.push((OrdF64(priority[succ]), Reverse(succ)));
-                            drop(s);
-                            cv.notify_one();
-                        }
-                    }
-                    let mut s = state.lock();
-                    s.remaining -= 1;
-                    if s.remaining == 0 {
-                        drop(s);
-                        cv.notify_all();
-                    }
-                }
-                Err(payload) => {
-                    let mut s = state.lock();
-                    if s.panic_payload.is_none() {
-                        s.panic_payload = Some(payload);
-                    }
-                    drop(s);
-                    cv.notify_all();
-                    return;
-                }
-            }
-        }
+    let ctx = ExecCtx {
+        state: Mutex::new(SharedState {
+            ready: ready0,
+            remaining: n,
+            panic_payload: None,
+        }),
+        cv: Condvar::new(),
+        in_deg,
+        dag,
+        priority,
+        task_fn,
     };
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|wid| scope.spawn(move || worker(wid)))
-            .collect();
-        for h in handles {
-            // Worker closures never panic themselves (task panics are
-            // captured), so join errors are impossible; be defensive anyway.
-            if h.join().is_err() {
-                let mut s = state.lock();
-                if s.panic_payload.is_none() {
-                    s.panic_payload = Some(Box::new("worker thread panicked"));
-                }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("threads > 0 was asserted above");
+    pool.install(|| {
+        rayon::scope(|s| {
+            let ctx = &ctx;
+            for _ in 0..threads {
+                spawn_pass(ctx, s);
             }
-        }
+        });
     });
 
-    let payload = state.lock().panic_payload.take();
+    let payload = ctx.state.lock().panic_payload.take();
     if let Some(p) = payload {
         resume_unwind(p);
     }

@@ -7,8 +7,20 @@
 //! until the measurement budget is spent and report the best mean batch
 //! time. No statistics, plots, or outlier analysis; for real measurements
 //! swap in crates.io criterion (the bench sources are API-compatible).
+//!
+//! Two environment knobs support the CI `bench-smoke` job:
+//!
+//! * `STKDE_BENCH_QUICK` — when set (non-empty, not `0`), caps every
+//!   benchmark at 3 samples and a 250 ms measurement budget, the in-tree
+//!   analogue of criterion's `--measurement-time 1`-style quick runs.
+//!   The best-of-batches metric stays meaningful at low sample counts.
+//! * `STKDE_BENCH_JSON` — path to append one JSON line per benchmark:
+//!   `{"id":"<group>/<name>","best_s":<seconds>}`. The CI job collects
+//!   the file as the `BENCH_ci.json` artifact and feeds it to the
+//!   `bench_guard` regression check.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -32,9 +44,11 @@ impl Default for Criterion {
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        println!("group {}", name.into());
+        let name = name.into();
+        println!("group {name}");
         BenchmarkGroup {
             criterion: self,
+            name,
             sample_size: None,
             measurement_time: None,
         }
@@ -45,7 +59,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(name, self.sample_size, self.measurement_time, f);
+        run_benchmark(name, name, self.sample_size, self.measurement_time, f);
         self
     }
 }
@@ -54,6 +68,7 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
+    name: String,
     sample_size: Option<usize>,
     measurement_time: Option<Duration>,
 }
@@ -80,6 +95,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         run_benchmark(
             &format!("  {}", id.0),
+            &format!("{}/{}", self.name, id.0),
             self.sample_size.unwrap_or(self.criterion.sample_size),
             self.measurement_time
                 .unwrap_or(self.criterion.measurement_time),
@@ -206,12 +222,49 @@ fn format_time(s: f64) -> String {
     }
 }
 
+/// Is quick mode requested? (`STKDE_BENCH_QUICK` set, non-empty, not `0`)
+fn quick_mode() -> bool {
+    std::env::var("STKDE_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Append one JSONL record to `$STKDE_BENCH_JSON`, if configured.
+fn record_json(id: &str, best_s: f64) {
+    let Ok(path) = std::env::var("STKDE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let entry = format!(
+        "{{\"id\":\"{}\",\"best_s\":{best_s:e}}}",
+        id.replace(['"', '\\'], "_")
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{entry}"))
+    {
+        Ok(()) => {}
+        Err(e) => eprintln!("warning: could not record bench result to {path}: {e}"),
+    }
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     label: &str,
+    id: &str,
     sample_size: usize,
     measurement_time: Duration,
     mut f: F,
 ) {
+    let (sample_size, measurement_time) = if quick_mode() {
+        (
+            sample_size.min(3),
+            measurement_time.min(Duration::from_millis(250)),
+        )
+    } else {
+        (sample_size, measurement_time)
+    };
     let mut b = Bencher {
         best_s_per_iter: None,
         sample_size,
@@ -219,7 +272,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     };
     f(&mut b);
     match b.best_s_per_iter {
-        Some(best) => println!("{label}: {}", format_time(best)),
+        Some(best) => {
+            println!("{label}: {}", format_time(best));
+            record_json(id, best);
+        }
         None => println!("{label}: (no measurement)"),
     }
 }

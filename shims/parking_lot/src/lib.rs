@@ -182,6 +182,25 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`; matches
+    /// parking_lot's `wait_for` shape.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let (reacquired, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wake one waiting thread.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -192,6 +211,17 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed (rather than a notify)?
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

@@ -1,0 +1,180 @@
+//! A Chase–Lev work-stealing deque over `std` atomics.
+//!
+//! One deque per pool worker: the owner pushes and pops at the *bottom*
+//! (LIFO — newest task first, best cache locality and the order `join`
+//! relies on), thieves steal from the *top* (FIFO — oldest, i.e. largest,
+//! pending subtree first).
+//!
+//! The implementation follows Chase & Lev (SPAA 2005) in the C11
+//! formulation of Lê et al. (PPoPP 2013), with one simplification suited
+//! to a long-lived pool: when the circular buffer grows, the retired
+//! buffer is intentionally *leaked* instead of reclaimed through an epoch
+//! scheme. A concurrent thief may still be reading the old buffer, and
+//! leaking it makes that read trivially safe. Buffers double in size, so
+//! the total leak per deque is bounded by twice the high-water mark —
+//! a few kilobytes of `AtomicPtr` cells for realistic workloads.
+
+use crate::job::JobRef;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::job::JobHeader;
+
+/// Power-of-two circular buffer of job pointers. Indexed by the unmasked
+/// monotone `top`/`bottom` counters.
+struct Buffer {
+    cells: Box<[AtomicPtr<JobHeader>]>,
+}
+
+impl Buffer {
+    fn new(cap: usize) -> Self {
+        debug_assert!(cap.is_power_of_two());
+        Buffer {
+            cells: (0..cap).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+        }
+    }
+
+    #[inline]
+    fn at(&self, index: isize) -> &AtomicPtr<JobHeader> {
+        let mask = self.cells.len() as isize - 1;
+        &self.cells[(index & mask) as usize]
+    }
+}
+
+/// Result of a steal attempt.
+pub(crate) enum Steal {
+    /// Got a job.
+    Success(JobRef),
+    /// Deque observed empty.
+    Empty,
+    /// Lost a race; worth retrying.
+    Retry,
+}
+
+/// The single-owner, multi-thief deque.
+pub(crate) struct Deque {
+    /// Steal end; monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end; only the owner writes it outside the single-element race.
+    bottom: AtomicIsize,
+    buf: AtomicPtr<Buffer>,
+}
+
+// SAFETY: all fields are atomics; the owner-only contract of `push`/`pop`
+// is enforced by the registry (each worker only touches its own bottom).
+unsafe impl Send for Deque {}
+unsafe impl Sync for Deque {}
+
+const INITIAL_CAP: usize = 64;
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(INITIAL_CAP)))),
+        }
+    }
+
+    /// Push at the bottom.
+    ///
+    /// # Safety
+    /// Only the owning worker thread may call this.
+    pub(crate) unsafe fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = &*self.buf.load(Ordering::Relaxed);
+        if b - t >= buf.cells.len() as isize {
+            buf = self.grow(b, t);
+        }
+        buf.at(b).store(job.0 as *mut JobHeader, Ordering::Relaxed);
+        // The Release store of `bottom` publishes the cell write to thieves
+        // that Acquire-load `bottom`.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop from the bottom (LIFO).
+    ///
+    /// # Safety
+    /// Only the owning worker thread may call this.
+    pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = &*self.buf.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // SeqCst fence: the `bottom` decrement must be globally visible
+        // before we read `top`, so a concurrent thief and this pop cannot
+        // both claim the same single remaining element.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = buf.at(b).load(Ordering::Relaxed);
+            if t == b {
+                // Single element: race against thieves via CAS on `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(JobRef(job));
+            }
+            Some(JobRef(job))
+        } else {
+            // Deque was empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Steal from the top (FIFO). Callable from any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // SeqCst fence pairs with the fence in `pop`: if our CAS below
+        // succeeds, the owner's racing pop of the same element fails.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: `buf` always points at a live Buffer — retired buffers
+        // are leaked, never freed, so a stale pointer still reads validly.
+        let buf = unsafe { &*self.buf.load(Ordering::Acquire) };
+        let job = buf.at(t).load(Ordering::Relaxed);
+        // The value read above is only trusted if we win the CAS on `top`:
+        // winning proves index `t` was not recycled (the owner cannot wrap
+        // around onto cell `t & mask` without `top` first advancing).
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(JobRef(job))
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Double the buffer. Called by the owner from `push` when full.
+    fn grow(&self, b: isize, t: isize) -> &Buffer {
+        // SAFETY: owner-only path; the current buffer stays alive (leaked).
+        let old = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        let new = Buffer::new(old.cells.len() * 2);
+        for i in t..b {
+            new.at(i)
+                .store(old.at(i).load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let ptr = Box::into_raw(Box::new(new));
+        // Release so thieves that Acquire-load `buf` see the copied cells.
+        self.buf.store(ptr, Ordering::Release);
+        // `old` is leaked deliberately — see module docs.
+        unsafe { &*ptr }
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // Free the *current* buffer only; retired generations were leaked
+        // by design. (In practice deques live as long as the process.)
+        // SAFETY: exclusive access in drop.
+        unsafe { drop(Box::from_raw(self.buf.load(Ordering::Relaxed))) };
+    }
+}

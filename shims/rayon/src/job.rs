@@ -1,0 +1,199 @@
+//! Type-erased units of work and the latches that signal their completion.
+//!
+//! A job is a single pointer to a struct whose first field is a
+//! [`JobHeader`] holding the monomorphized execute function — the same
+//! one-word erasure real rayon uses, so a [`JobRef`] fits in one
+//! `AtomicPtr` cell of the work-stealing deque.
+//!
+//! Two concrete job kinds exist:
+//!
+//! * [`StackJob`] — lives on the stack of the thread that created it
+//!   (`join`, `install`). The creator blocks (or work-steals) until the
+//!   job's latch is set, so the referent never dangles.
+//! * [`HeapJob`] — boxed, fire-and-forget (`Scope::spawn`); the box is
+//!   reclaimed when the job executes. The owning [`Scope`](crate::Scope)
+//!   keeps a pending-count so spawned work never outlives its borrows.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// First field of every concrete job type: the type-erased entry point.
+#[repr(C)]
+pub(crate) struct JobHeader {
+    execute: unsafe fn(*const ()),
+}
+
+/// One-word handle to a pending job. Comparable by identity so `join` can
+/// recognize its own pushed job when popping it back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JobRef(pub(crate) *const JobHeader);
+
+// SAFETY: a JobRef is only created for jobs whose closures are `Send`, and
+// ownership of the right to execute is transferred through the deque (each
+// pushed ref is executed exactly once, by exactly one thread).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job.
+    ///
+    /// # Safety
+    /// The referent must still be alive and must not have been executed yet.
+    pub(crate) unsafe fn execute(self) {
+        ((*self.0).execute)(self.0 as *const ())
+    }
+}
+
+/// Completion signal settable exactly once.
+pub(crate) trait Latch {
+    fn set(&self);
+}
+
+/// Latch probed by a work-stealing waiter (a pool worker inside `join`).
+#[derive(Default)]
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Latch a non-pool thread blocks on (`install` / injected operations).
+#[derive(Default)]
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        // The guard must be held across notify_all: the instant `done` is
+        // observable the waiter may return and free the latch (it lives on
+        // the waiter's stack), so notifying after unlocking would touch a
+        // potentially dead Condvar. Holding the lock forces the waiter to
+        // stay in `wait()` until we are done with `self`.
+        let mut done = self.done.lock().unwrap();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Outcome of an executed job.
+pub(crate) enum JobResult<R> {
+    /// Not executed yet (never observed after the latch is set).
+    Pending,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+impl<R> JobResult<R> {
+    /// Unwrap the value, re-raising a captured panic.
+    pub(crate) fn into_return_value(self) -> R {
+        match self {
+            JobResult::Ok(v) => v,
+            JobResult::Panic(p) => resume_unwind(p),
+            JobResult::Pending => unreachable!("job result taken before completion"),
+        }
+    }
+}
+
+/// A job whose closure, result, and latch live on the creating thread's
+/// stack. The creator must not return before the latch is set.
+#[repr(C)]
+pub(crate) struct StackJob<L: Latch, F, R> {
+    header: JobHeader,
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            header: JobHeader {
+                execute: Self::execute_erased,
+            },
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    /// # Safety
+    /// The returned ref must be executed (or abandoned by the owner popping
+    /// it back) before `self` is dropped.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef(&self.header as *const JobHeader)
+    }
+
+    /// # Safety
+    /// Only call after the latch is set (or after executing the ref on this
+    /// thread); no other thread may still touch the job.
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::Pending)
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        let job = &*(this as *const Self);
+        let func = (*job.func.get()).take().expect("job executed twice");
+        // The panic is captured, not propagated: the worker thread stays
+        // alive, and whoever waits on the latch re-raises the payload.
+        let result = match catch_unwind(AssertUnwindSafe(func)) {
+            Ok(v) => JobResult::Ok(v),
+            Err(p) => JobResult::Panic(p),
+        };
+        *job.result.get() = result;
+        job.latch.set();
+    }
+}
+
+/// A boxed job for `Scope::spawn`; the closure carries its own completion
+/// bookkeeping (the scope's pending count), so there is no latch here.
+#[repr(C)]
+pub(crate) struct HeapJob<F> {
+    header: JobHeader,
+    func: F,
+}
+
+impl<F: FnOnce()> HeapJob<F> {
+    /// Box `func` and return the one-word ref; the box is freed when the
+    /// job executes.
+    pub(crate) fn into_job_ref(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob {
+            header: JobHeader {
+                execute: Self::execute_erased,
+            },
+            func,
+        });
+        JobRef(Box::into_raw(boxed) as *const JobHeader)
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        let job = Box::from_raw(this as *mut Self);
+        (job.func)();
+    }
+}

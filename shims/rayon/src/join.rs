@@ -1,0 +1,89 @@
+//! Fork-join primitive over the work-stealing pool.
+
+use crate::job::{JobResult, SpinLatch, StackJob};
+use crate::registry::{global_registry, with_worker, WorkerThread};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results.
+///
+/// On a pool worker, `oper_a` is pushed onto the worker's deque — where
+/// any idle worker can steal it — and `oper_b` runs inline immediately.
+/// If nobody stole `oper_a` by the time `oper_b` finishes, it is popped
+/// back (LIFO) and run inline too, so the sequential case pays only one
+/// deque push/pop over a plain function call. While a stolen `oper_a` is
+/// in flight, the waiting worker executes other pending deque work
+/// instead of blocking.
+///
+/// Called from outside the pool, the whole join is injected into the
+/// global registry and this thread blocks until it completes.
+///
+/// Panics in either closure propagate to the caller (after both sides
+/// have been resolved, so no stack-allocated job is ever abandoned).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    with_worker(|worker| match worker {
+        Some(worker) => join_on_worker(worker, oper_a, oper_b),
+        None => global_registry().run_blocking(move || join(oper_a, oper_b)),
+    })
+}
+
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_a = StackJob::new(SpinLatch::default(), oper_a);
+    // SAFETY: `job_a` stays on this stack until resolved below.
+    let ref_a = unsafe { job_a.as_job_ref() };
+    worker.push(ref_a);
+
+    // Run the second closure inline while the first is stealable. Its
+    // panic (if any) is held back until `job_a` is resolved: unwinding
+    // now could free the stack slot a thief is about to execute.
+    let result_b = catch_unwind(AssertUnwindSafe(oper_b));
+
+    // Resolve `job_a`: pop it back and run it inline, or — if a thief got
+    // it — work-steal until its latch is set. Popped jobs that are *not*
+    // `job_a` belong to enclosing joins on this same stack; executing them
+    // here is correct (their owners check the latch, not the deque).
+    loop {
+        match worker.pop() {
+            Some(job) if job == ref_a => {
+                // SAFETY: we just popped the pending ref; the job is alive.
+                unsafe { job.execute() };
+                break;
+            }
+            Some(job) => {
+                // SAFETY: as above.
+                unsafe { job.execute() }
+            }
+            None => {
+                worker.wait_until(&job_a.latch);
+                break;
+            }
+        }
+    }
+
+    // SAFETY: `job_a` has executed (inline or via thief + latch).
+    let result_a = unsafe { job_a.take_result() };
+    match result_b {
+        Err(panic_b) => {
+            // B's panic wins (it happened first); A's result or panic
+            // payload is dropped, mirroring upstream rayon.
+            resume_unwind(panic_b)
+        }
+        Ok(rb) => match result_a {
+            JobResult::Ok(ra) => (ra, rb),
+            JobResult::Panic(p) => resume_unwind(p),
+            JobResult::Pending => unreachable!("join job not executed"),
+        },
+    }
+}

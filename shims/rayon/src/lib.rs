@@ -1,73 +1,125 @@
-//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon), built on
+//! a persistent work-stealing runtime.
 //!
 //! The build environment has no network access to crates.io, so this
-//! workspace vendors a small, honest implementation of the rayon API
-//! surface it actually uses: slice/range parallel iterators (`par_iter`,
+//! workspace vendors an honest implementation of the rayon API surface it
+//! actually uses: slice/range parallel iterators (`par_iter`,
 //! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter`), the
 //! `map`/`enumerate`/`for_each`/`for_each_init`/`reduce`/`sum`/`collect`
-//! combinators, and `ThreadPool`/`ThreadPoolBuilder` with `install`.
+//! combinators, [`join`], [`scope`], and `ThreadPool`/`ThreadPoolBuilder`
+//! with `install`.
 //!
-//! Work really is executed on multiple OS threads: every consuming
-//! combinator splits its iterator into as many contiguous pieces as the
-//! ambient thread count and runs the pieces under `std::thread::scope`
-//! via recursive binary splitting (a simplified fork-join). Unlike real
-//! rayon there is no work stealing, so load balancing is purely static —
-//! good enough for the chunked loops this workspace runs, and trivially
-//! deterministic: ordered combinators (`collect`, `reduce`) combine piece
-//! results in index order.
+//! # Execution model
+//!
+//! Earlier versions of this shim spawned fresh `std::thread::scope`
+//! threads per operation and split ranges evenly — so both spawn overhead
+//! and load imbalance were paid on every hot call. The current design is
+//! a scaled-down rayon:
+//!
+//! * **Persistent workers.** A registry of long-lived, named
+//!   (`stkde-worker-N`) threads is created lazily per pool size and
+//!   cached for the life of the process. The default size comes from
+//!   `RAYON_NUM_THREADS` (positive integer) or the machine's available
+//!   parallelism.
+//! * **Chase–Lev deques.** Each worker owns a lock-free deque (`std`
+//!   atomics only): the owner pushes/pops LIFO at the bottom, idle
+//!   workers steal FIFO from the top in random victim order. Retired
+//!   ring buffers are leaked on growth instead of epoch-reclaimed — a
+//!   bounded cost that makes concurrent steals trivially safe.
+//! * **Adaptive splitting.** Consuming combinators split their iterator
+//!   until about `4 × workers` pieces exist (binary splitting via
+//!   [`join`]), then stealing balances whatever imbalance remains —
+//!   the dynamic scheduling the `PB-SYM-PD` parity-class task lists
+//!   need. Piece results are still combined in index order, so
+//!   `collect`/`reduce` stay deterministic for a fixed split budget.
+//! * **Real `join`.** `join(a, b)` pushes `a` as a stealable job and
+//!   runs `b` inline; if `a` is not stolen it is popped back and run
+//!   inline too (one push/pop of overhead), otherwise the waiter
+//!   executes other pending deque work until `a`'s latch is set.
+//!   Panics are captured per job and re-raised on the joining side,
+//!   through arbitrarily nested joins.
+//! * **Pinned `install`.** `ThreadPool::install(op)` runs `op` *on* a
+//!   worker of that pool (injected through a FIFO queue and awaited on a
+//!   latch), so every parallel operation inside — and the ambient
+//!   [`current_num_threads`] — is scoped to that pool's worker set. A
+//!   panic inside `op` propagates out of `install`; the worker survives.
+//!
+//! # Documented divergences from upstream rayon
+//!
+//! * Pools of equal size share one cached worker set, and dropping a
+//!   `ThreadPool` does not stop its threads (they are reclaimed at
+//!   process exit). Building a pool of a previously seen size is a map
+//!   lookup, not a thread spawn.
+//! * `ThreadPoolBuilder::num_threads(0)` is rejected with an error from
+//!   `build()` instead of silently meaning "default"; leave the builder
+//!   untouched to get the default.
+//! * `join(a, b)` runs `b` (not `a`) inline first; both closures still
+//!   complete before `join` returns, so only first-panic precedence
+//!   differs.
+//! * `for_each_init` runs one `init()` per sequential piece (the state
+//!   still never crosses threads).
 
-use std::cell::Cell;
+mod deque;
+mod job;
+mod join;
+mod registry;
+mod scope;
+
+pub use join::join;
+pub use scope::{scope, Scope};
+
+use registry::{default_threads, in_registry, registry_with_threads, with_worker, Registry};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
-// Thread-count plumbing (`ThreadPool::install` sets an ambient count).
+// Thread-count plumbing and pools.
 // ---------------------------------------------------------------------------
 
-thread_local! {
-    static AMBIENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// The number of threads parallel operations on this thread will use.
+/// The number of workers parallel operations on this thread will use: the
+/// current pool's size on a worker thread (e.g. inside
+/// [`ThreadPool::install`]), the global default otherwise.
 pub fn current_num_threads() -> usize {
-    AMBIENT_THREADS
-        .with(|c| c.get())
-        .unwrap_or_else(default_threads)
+    with_worker(|w| w.map(|w| w.registry().size())).unwrap_or_else(default_threads)
 }
 
-/// A logical thread pool: a target parallelism degree for the closures run
-/// under [`ThreadPool::install`]. Threads are spawned per operation (scoped),
-/// not kept resident.
+/// How many pieces consuming combinators aim to split into: a few pieces
+/// per worker so stealing can correct imbalance without drowning in
+/// per-piece overhead.
+fn split_budget() -> usize {
+    4 * current_num_threads()
+}
+
+/// A handle to a persistent set of worker threads. Operations run under
+/// [`ThreadPool::install`] execute on — and split across — exactly this
+/// pool's workers.
 #[derive(Debug)]
 pub struct ThreadPool {
-    threads: usize,
+    registry: Arc<Registry>,
 }
 
 impl ThreadPool {
     /// The parallelism degree of this pool.
     pub fn current_num_threads(&self) -> usize {
-        self.threads
+        self.registry.size()
     }
 
-    /// Run `op` with this pool's thread count as the ambient parallelism.
+    /// Run `op` on a worker of this pool and return its result, blocking
+    /// the calling thread meanwhile. Parallel operations inside `op` are
+    /// scheduled on this pool's workers. If `op` panics, the panic is
+    /// re-raised here; the worker is unaffected.
+    ///
+    /// Calling `install` from a worker of this same pool runs `op`
+    /// inline.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                AMBIENT_THREADS.with(|c| c.set(self.0));
-            }
+        if in_registry(&self.registry) {
+            op()
+        } else {
+            self.registry.run_blocking(op)
         }
-        let _restore = Restore(AMBIENT_THREADS.with(|c| c.replace(Some(self.threads))));
-        op()
     }
 }
 
@@ -83,30 +135,41 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Set the thread count (`0` means "use the default").
+    /// Set the worker count. Zero is rejected by [`build`](Self::build);
+    /// don't call `num_threads` at all to get the default
+    /// (`RAYON_NUM_THREADS` or the hardware parallelism).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.threads = Some(n);
         self
     }
 
-    /// Build the pool. Never fails in this shim; the `Result` mirrors
-    /// rayon's signature.
+    /// Build (or fetch the cached) pool.
+    ///
+    /// # Errors
+    /// Fails if `num_threads(0)` was requested explicitly.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = match self.threads {
-            Some(0) | None => default_threads(),
+            Some(0) => {
+                return Err(ThreadPoolBuildError(
+                    "num_threads(0) is invalid: omit num_threads() to use the default",
+                ))
+            }
             Some(n) => n,
+            None => default_threads(),
         };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool {
+            registry: registry_with_threads(threads),
+        })
     }
 }
 
-/// Error building a [`ThreadPool`] (never produced by this shim).
+/// Error building a [`ThreadPool`].
 #[derive(Debug)]
-pub struct ThreadPoolBuildError(());
+pub struct ThreadPoolBuildError(&'static str);
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error")
+        write!(f, "thread pool build error: {}", self.0)
     }
 }
 
@@ -156,7 +219,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         F: Fn(Self::Item) + Send + Sync,
     {
-        run_pieces(self, current_num_threads(), &|piece: Self| {
+        run_pieces(self, split_budget(), &|piece: Self| {
             piece.drive(&mut |item| f(item));
         });
     }
@@ -169,7 +232,7 @@ pub trait ParallelIterator: Sized + Send {
         INIT: Fn() -> T + Send + Sync,
         F: Fn(&mut T, Self::Item) + Send + Sync,
     {
-        run_pieces(self, current_num_threads(), &|piece: Self| {
+        run_pieces(self, split_budget(), &|piece: Self| {
             let mut state = init();
             piece.drive(&mut |item| f(&mut state, item));
         });
@@ -177,13 +240,13 @@ pub trait ParallelIterator: Sized + Send {
 
     /// Fold to a single value: each piece folds sequentially from
     /// `identity()`, then piece results are combined left-to-right — so the
-    /// result is deterministic for a fixed thread count.
+    /// result is deterministic for a fixed split budget.
     fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
         ID: Fn() -> Self::Item + Send + Sync,
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        let parts = run_pieces(self, current_num_threads(), &|piece: Self| {
+        let parts = run_pieces(self, split_budget(), &|piece: Self| {
             let mut acc = identity();
             piece.drive(&mut |item| {
                 let prev = std::mem::replace(&mut acc, identity());
@@ -199,7 +262,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
     {
-        let parts = run_pieces(self, current_num_threads(), &|piece: Self| {
+        let parts = run_pieces(self, split_budget(), &|piece: Self| {
             let mut items = Vec::with_capacity(piece.par_len());
             piece.drive(&mut |item| items.push(item));
             items.into_iter().sum::<S>()
@@ -229,7 +292,7 @@ pub trait FromParallelIterator<T: Send>: Sized {
 
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
-        let parts = run_pieces(p, current_num_threads(), &|piece: P| {
+        let parts = run_pieces(p, split_budget(), &|piece: P| {
             let mut v = Vec::with_capacity(piece.par_len());
             piece.drive(&mut |item| v.push(item));
             v
@@ -242,8 +305,9 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
-/// Recursive binary fork-join: split `p` into ~`pieces` contiguous pieces,
-/// run `leaf` on each under scoped threads, and return leaf results in
+/// Adaptive binary fork-join: split `p` into ~`pieces` contiguous pieces
+/// via nested [`join`] (each split point stealable, so idle workers pick
+/// up whole subtrees), run `leaf` on each, and return leaf results in
 /// piece order. Panics from leaves are re-raised with their original
 /// payload.
 fn run_pieces<P, R>(p: P, pieces: usize, leaf: &(impl Fn(P) -> R + Sync)) -> Vec<R>
@@ -260,15 +324,10 @@ where
     let left_pieces = pieces.div_ceil(2);
     let mid = (p.par_len() * left_pieces / pieces).clamp(1, p.par_len() - 1);
     let (a, b) = p.split_at(mid);
-    let (mut left, right) = std::thread::scope(|scope| {
-        let handle = scope.spawn(move || run_pieces(a, left_pieces, leaf));
-        let right = run_pieces(b, pieces - left_pieces, leaf);
-        let left = match handle.join() {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (left, right)
-    });
+    let (mut left, right) = join(
+        move || run_pieces(a, left_pieces, leaf),
+        move || run_pieces(b, pieces - left_pieces, leaf),
+    );
     left.extend(right);
     left
 }
@@ -676,12 +735,132 @@ mod tests {
     }
 
     #[test]
-    fn install_sets_ambient_threads() {
+    fn install_runs_on_pool_worker() {
         let pool = crate::ThreadPoolBuilder::new()
             .num_threads(3)
             .build()
             .unwrap();
         assert_eq!(pool.install(crate::current_num_threads), 3);
+        let name = pool.install(|| std::thread::current().name().map(str::to_owned));
+        let name = name.expect("worker threads are named");
+        assert!(
+            name.starts_with("stkde-worker-"),
+            "unexpected worker name {name}"
+        );
+    }
+
+    #[test]
+    fn install_propagates_panics_and_pool_survives() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("install boom")));
+        assert!(caught.is_err());
+        // The worker that ran the panicking closure must still serve work.
+        for _ in 0..4 {
+            assert_eq!(pool.install(|| 6 * 7), 42);
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_a_build_error() {
+        let err = crate::ThreadPoolBuilder::new().num_threads(0).build();
+        assert!(err.is_err());
+        let msg = format!("{}", err.unwrap_err());
+        assert!(msg.contains("num_threads(0)"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn equal_sized_pools_share_workers() {
+        let a = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let b = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let id_a = a.install(|| std::thread::current().id());
+        // Drain possible interleavings: with 2 shared workers, b's ops run
+        // on the same thread set as a's.
+        let mut seen_shared = false;
+        for _ in 0..32 {
+            let id_b = b.install(|| std::thread::current().id());
+            if id_b == id_a {
+                seen_shared = true;
+                break;
+            }
+        }
+        assert!(seen_shared, "pools of equal size should share a worker set");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_joins_compute_correctly() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            if range.end - range.start <= 8 {
+                return range.sum();
+            }
+            let mid = range.start + (range.end - range.start) / 2;
+            let (a, b) = crate::join(|| sum(range.start..mid), || sum(mid..range.end));
+            a + b
+        }
+        assert_eq!(sum(0..10_000), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        for side in 0..2 {
+            let caught = std::panic::catch_unwind(|| {
+                crate::join(
+                    || {
+                        if side == 0 {
+                            panic!("left boom")
+                        }
+                    },
+                    || {
+                        if side == 1 {
+                            panic!("right boom")
+                        }
+                    },
+                );
+            });
+            assert!(caught.is_err(), "side {side} panic lost");
+        }
+    }
+
+    #[test]
+    fn scope_spawn_runs_all_tasks_with_borrows() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    // Nested spawn borrowing the same counter.
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("spawned boom"));
+            });
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Structured task spawning: `scope` + `Scope::spawn`.
+//!
+//! Spawned tasks may borrow from the enclosing stack frame (`'scope`):
+//! the scope does not return until every spawned task — including tasks
+//! spawned by tasks — has finished, and the waiting worker executes
+//! pending pool work instead of blocking.
+
+use crate::job::HeapJob;
+use crate::registry::{global_registry, with_worker};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Capability to spawn tasks that borrow the scope's stack frame.
+pub struct Scope<'scope> {
+    /// Spawned-but-unfinished task count.
+    pending: AtomicUsize,
+    /// First panic from a spawned task; re-raised when the scope closes.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over `'scope`, like upstream rayon.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Raw scope pointer that may cross into a `Send` closure. Sound because
+/// the scope outlives every spawned task (the scope body waits for
+/// `pending == 0` before returning).
+struct ScopePtr(*const ());
+
+// SAFETY: see ScopePtr docs; Scope's shared state is Sync (atomics+Mutex).
+unsafe impl Send for ScopePtr {}
+
+/// Create a scope on a pool worker and run `op` in it; returns once `op`
+/// and all tasks spawned through the scope have completed. Panics from
+/// `op` or from any spawned task are re-raised here (first one wins,
+/// `op`'s own panic taking precedence). Called from outside the pool, the
+/// whole scope is injected into the global registry.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    with_worker(|worker| match worker {
+        Some(worker) => {
+            let s = Scope {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+                marker: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+            // Always drain before unwinding: spawned jobs hold raw
+            // pointers into this frame.
+            worker.wait_while(|| s.pending.load(Ordering::Acquire) != 0);
+            match result {
+                Err(p) => resume_unwind(p),
+                Ok(r) => {
+                    if let Some(p) = s.panic.lock().unwrap().take() {
+                        resume_unwind(p);
+                    }
+                    r
+                }
+            }
+        }
+        None => global_registry().run_blocking(move || scope(op)),
+    })
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `body` into the pool; it may borrow anything that outlives
+    /// `'scope` and may itself spawn further tasks on the scope.
+    ///
+    /// Must be called from within the pool (the scope body or another
+    /// spawned task) — which is where a `&Scope` can exist, since `scope`
+    /// always enters the pool first.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        // Increment before publishing the job: the count can only hit
+        // zero after this task (and transitively its spawns) finished.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job = HeapJob::into_job_ref(move || {
+            // SAFETY: the scope outlives the task (drain in `scope`).
+            let scope = unsafe { &*(scope_ptr.0 as *const Scope<'scope>) };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.panic.lock().unwrap().get_or_insert(p);
+            }
+            scope.pending.fetch_sub(1, Ordering::Release);
+        });
+        with_worker(|worker| match worker {
+            Some(worker) => worker.push(job),
+            None => unreachable!("Scope::spawn called off the pool"),
+        });
+    }
+}

@@ -1,0 +1,151 @@
+//! Scheduler stress tests: hammer nested `join`/`scope` with imbalanced
+//! task trees and panicking closures, asserting completion, panic
+//! propagation, and no lost work. Runs in CI under the
+//! `RAYON_NUM_THREADS` matrix (1, 2, 8), so every shape below must also
+//! terminate on a single-worker pool.
+
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Deterministic per-iteration "randomness".
+fn mix(x: u64) -> u64 {
+    let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    h.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// An intentionally lopsided join tree: every level sends ~1/8 of the
+/// work one way and the rest the other, alternating sides, so static
+/// splitting would idle half the pool. Returns the number of leaves.
+fn imbalanced_tree(n: u64, depth: u32, salt: u64, hits: &AtomicUsize) -> u64 {
+    if depth == 0 || n <= 1 {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return 1;
+    }
+    let small = (n / 8).max(1);
+    let (l, r) = if mix(salt).is_multiple_of(2) {
+        (small, n - small)
+    } else {
+        (n - small, small)
+    };
+    let (a, b) = rayon::join(
+        || imbalanced_tree(l, depth - 1, mix(salt ^ 1), hits),
+        || imbalanced_tree(r, depth - 1, mix(salt ^ 2), hits),
+    );
+    a + b
+}
+
+#[test]
+fn stress_nested_join_scope_and_panics_10k() {
+    const ITERS: u64 = 10_000;
+    let completed = AtomicUsize::new(0);
+    for i in 0..ITERS {
+        match i % 5 {
+            // Imbalanced nested joins: all leaves must be visited.
+            0 => {
+                let hits = AtomicUsize::new(0);
+                let leaves = imbalanced_tree(64, 6, i, &hits);
+                assert_eq!(hits.load(Ordering::Relaxed), leaves as usize);
+            }
+            // Scope with nested spawns: no lost work.
+            1 => {
+                let count = AtomicUsize::new(0);
+                rayon::scope(|s| {
+                    for _ in 0..4 {
+                        s.spawn(|s| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                            s.spawn(|_| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+                assert_eq!(count.load(Ordering::Relaxed), 8);
+            }
+            // A panicking closure deep in a join tree: the panic must
+            // surface, and the *other* side's work must not be lost.
+            2 => {
+                let done = AtomicUsize::new(0);
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    rayon::join(
+                        || {
+                            rayon::join(
+                                || {
+                                    done.fetch_add(1, Ordering::Relaxed);
+                                },
+                                || panic!("stress panic {i}"),
+                            )
+                        },
+                        || {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                }));
+                assert!(caught.is_err(), "iteration {i}: panic swallowed");
+                assert_eq!(done.load(Ordering::Relaxed), 2, "iteration {i}");
+            }
+            // Panicking spawned task: scope must drain, then re-raise.
+            3 => {
+                let survivors = AtomicUsize::new(0);
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    rayon::scope(|s| {
+                        s.spawn(|_| panic!("scope panic {i}"));
+                        for _ in 0..3 {
+                            s.spawn(|_| {
+                                survivors.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }));
+                assert!(caught.is_err(), "iteration {i}: scope panic swallowed");
+                assert_eq!(survivors.load(Ordering::Relaxed), 3, "iteration {i}");
+            }
+            // Parallel iterator with skewed per-item cost.
+            _ => {
+                let acc = AtomicUsize::new(0);
+                (0..32usize).into_par_iter().for_each(|k| {
+                    // Heavy tail: item 0 does ~32x the work of the rest.
+                    let reps = if k == 0 { 32 } else { 1 };
+                    let mut x = i ^ k as u64;
+                    for _ in 0..reps {
+                        x = mix(x);
+                    }
+                    acc.fetch_add((x as usize & 7) + 1, Ordering::Relaxed);
+                });
+                assert!(acc.load(Ordering::Relaxed) >= 32);
+            }
+        }
+        completed.fetch_add(1, Ordering::Relaxed);
+    }
+    assert_eq!(completed.load(Ordering::Relaxed), ITERS as usize);
+
+    // After 10k iterations of abuse (including ~4k propagated panics),
+    // the shared pool must still schedule fresh work correctly.
+    let v: Vec<usize> = (0..1000).into_par_iter().map(|x| x * 3).collect();
+    assert_eq!(v, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+}
+
+#[test]
+fn stress_concurrent_external_callers() {
+    // Several non-pool threads hammer the shared global registry at once:
+    // injected operations must not interfere or deadlock.
+    let results: Vec<u64> = std::thread::scope(|ts| {
+        (0..4u64)
+            .map(|t| {
+                ts.spawn(move || {
+                    let mut total = 0u64;
+                    for i in 0..200 {
+                        let hits = AtomicUsize::new(0);
+                        total += imbalanced_tree(32, 5, t * 1000 + i, &hits);
+                    }
+                    total
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert!(results.iter().all(|&r| r > 0));
+}
