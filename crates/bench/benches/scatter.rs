@@ -1,0 +1,193 @@
+//! Scatter-engine benchmark: the vectorized, span-clipped per-point
+//! `PB-SYM` scatter vs. the pre-engine loop it replaced.
+//!
+//! The pre-engine loop is reproduced here verbatim as `naive`: it fills
+//! the full rectangular bounding box of the (circular) disk with per-voxel
+//! `voxel_center`/`uv` calls, keeps the invariants in `f64`, and converts
+//! `f64 → S` inside the innermost multiply-add — the three costs the
+//! engine removes (per-axis offset tables, analytic chord clipping, and
+//! native-scalar `axpy_row` rows). Both sides scatter the same points
+//! into the same grid shape, so the ratio isolates the scatter itself.
+//!
+//! The sweep covers the paper-Table-2-shaped bandwidth regime (`Hs = 8`,
+//! `Ht = 4` voxels) for `f32` (paper parity) and `f64` (validation
+//! scalar), and three kernels: Epanechnikov (polynomial), truncated
+//! Gaussian (`exp` per evaluation), and the `Tabulated` LUT wrapper over
+//! the Gaussian — quantifying LUT × vectorization for the
+//! `exp`-in-inner-loop case the LUT module docs call out.
+//!
+//! `bench_guard` enforces the in-run invariant
+//! `scatter/sym_f32_epanechnikov_engine < …_naive` (core-count
+//! independent, like the steal<static scheduler check).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stkde_core::kernel_apply::{apply_points_seq_with, PointKernel, Scratch};
+use stkde_core::Problem;
+use stkde_data::{synth, Point};
+use stkde_grid::{Bandwidth, Domain, Grid3, GridDims, Scalar, VoxelRange};
+use stkde_kernels::{Epanechnikov, SpaceTimeKernel, Tabulated, TruncatedGaussian};
+
+fn instance() -> (Problem, Vec<Point>) {
+    let domain = Domain::from_dims(GridDims::new(64, 64, 32));
+    let points = synth::uniform(512, domain.extent(), 42).into_vec();
+    (
+        Problem::new(domain, Bandwidth::new(8.0, 4.0), points.len()),
+        points,
+    )
+}
+
+/// The pre-engine `PB-SYM` scatter, kept as the measured baseline:
+/// full-box disk, per-voxel geometry, `f64` invariants, per-element
+/// `f64 → S` conversion.
+struct NaiveScratch {
+    disk: Vec<f64>,
+    bar: Vec<f64>,
+}
+
+fn naive_scatter<S: Scalar, K: SpaceTimeKernel>(
+    grid: &mut Grid3<S>,
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    scratch: &mut NaiveScratch,
+) {
+    let full = VoxelRange::full(problem.domain.dims());
+    let norm = problem.norm;
+    for p in points {
+        let v = problem.domain.voxel_of(p.as_array());
+        let r = problem
+            .domain
+            .cylinder_range(v, problem.vbw)
+            .intersect(full);
+        if r.is_empty() {
+            continue;
+        }
+        scratch.disk.clear();
+        for y in r.y0..r.y1 {
+            let cy = problem.domain.voxel_center(0, y, 0)[1];
+            for x in r.x0..r.x1 {
+                let cx = problem.domain.voxel_center(x, 0, 0)[0];
+                let (u, v) = problem.uv(cx, cy, p);
+                scratch.disk.push(kernel.spatial(u, v) * norm);
+            }
+        }
+        scratch.bar.clear();
+        for t in r.t0..r.t1 {
+            let ct = problem.domain.voxel_center(0, 0, t)[2];
+            scratch.bar.push(kernel.temporal(problem.w(ct, p)));
+        }
+        let width = r.width_x();
+        for (ti, t) in (r.t0..r.t1).enumerate() {
+            let kt = scratch.bar[ti];
+            if kt == 0.0 {
+                continue;
+            }
+            for (yi, y) in (r.y0..r.y1).enumerate() {
+                let row = grid.row_mut(y, t, r.x0, r.x1);
+                let disk_row = &scratch.disk[yi * width..(yi + 1) * width];
+                for (out, &ks) in row.iter_mut().zip(disk_row) {
+                    *out += S::from_f64(ks * kt);
+                }
+            }
+        }
+    }
+}
+
+fn engine_scatter<S: Scalar, K: SpaceTimeKernel>(
+    grid: &mut Grid3<S>,
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    scratch: &mut Scratch<S>,
+) {
+    apply_points_seq_with(
+        PointKernel::Sym,
+        grid,
+        problem,
+        kernel,
+        points,
+        VoxelRange::full(problem.domain.dims()),
+        scratch,
+    );
+}
+
+fn bench_pair<S: Scalar, K: SpaceTimeKernel>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    scalar: &str,
+    kname: &str,
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+) {
+    // Sanity: both loops must produce the same density field.
+    let dims = problem.domain.dims();
+    let (mut a, mut b): (Grid3<S>, Grid3<S>) = (Grid3::zeros(dims), Grid3::zeros(dims));
+    let mut naive = NaiveScratch {
+        disk: Vec::new(),
+        bar: Vec::new(),
+    };
+    let mut scratch = Scratch::default();
+    naive_scatter(&mut a, problem, kernel, points, &mut naive);
+    engine_scatter(&mut b, problem, kernel, points, &mut scratch);
+    let diff = a.max_rel_diff(&b, 1e-12);
+    assert!(diff < 1e-6, "engine diverges from naive: {diff}");
+
+    let mut grid: Grid3<S> = Grid3::zeros(dims);
+    group.bench_function(format!("sym_{scalar}_{kname}_naive"), |bch| {
+        bch.iter(|| {
+            grid.as_mut_slice().fill(S::ZERO);
+            naive_scatter(&mut grid, problem, kernel, black_box(points), &mut naive);
+            black_box(grid.get(0, 0, 0))
+        })
+    });
+    group.bench_function(format!("sym_{scalar}_{kname}_engine"), |bch| {
+        bch.iter(|| {
+            grid.as_mut_slice().fill(S::ZERO);
+            engine_scatter(&mut grid, problem, kernel, black_box(points), &mut scratch);
+            black_box(grid.get(0, 0, 0))
+        })
+    });
+}
+
+fn bench_scatter(c: &mut Criterion) {
+    let (problem, points) = instance();
+    let gauss = TruncatedGaussian::default();
+    let lut = Tabulated::new(TruncatedGaussian::default());
+
+    let mut group = c.benchmark_group("scatter");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    bench_pair::<f32, _>(
+        &mut group,
+        "f32",
+        "epanechnikov",
+        &problem,
+        &Epanechnikov,
+        &points,
+    );
+    bench_pair::<f64, _>(
+        &mut group,
+        "f64",
+        "epanechnikov",
+        &problem,
+        &Epanechnikov,
+        &points,
+    );
+    bench_pair::<f32, _>(&mut group, "f32", "gaussian", &problem, &gauss, &points);
+    bench_pair::<f64, _>(&mut group, "f64", "gaussian", &problem, &gauss, &points);
+    bench_pair::<f32, _>(&mut group, "f32", "tabulated", &problem, &lut, &points);
+    bench_pair::<f64, _>(&mut group, "f64", "tabulated", &problem, &lut, &points);
+
+    println!(
+        "  (instance: {} points, Hs={} Ht={} voxels, box {} voxels/point)",
+        points.len(),
+        problem.vbw.hs,
+        problem.vbw.ht,
+        problem.vbw.cylinder_box_volume()
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter);
+criterion_main!(benches);

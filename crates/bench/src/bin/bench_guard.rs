@@ -37,6 +37,8 @@ use std::process::ExitCode;
 const CALIB_ID: &str = "work_stealing_t8/calib";
 const STEAL_ID: &str = "work_stealing_t8/parity_classes_steal";
 const STATIC_ID: &str = "work_stealing_t8/parity_classes_static_split";
+const SCATTER_ENGINE_ID: &str = "scatter/sym_f32_epanechnikov_engine";
+const SCATTER_NAIVE_ID: &str = "scatter/sym_f32_epanechnikov_naive";
 const DEFAULT_MAX_RATIO: f64 = 2.0;
 
 /// Extract `"key":<string>` and `"key":<number>` from one flat JSON line.
@@ -145,6 +147,20 @@ fn main() -> ExitCode {
         println!("scheduler invariant: steal/static = {ratio:.2} (must be < 1.0)");
         if ratio >= 1.0 {
             failures.push(("steal/static in-run invariant".to_string(), ratio));
+        }
+    }
+
+    // In-run scatter-engine invariant (same machine-independence argument):
+    // the vectorized, span-clipped f32 PB-SYM scatter must beat the
+    // pre-engine loop reproduced alongside it in the same process.
+    if let (Some(&engine), Some(&naive)) = (
+        current.get(SCATTER_ENGINE_ID),
+        current.get(SCATTER_NAIVE_ID),
+    ) {
+        let ratio = engine / naive;
+        println!("scatter invariant: engine/naive = {ratio:.2} (must be < 1.0)");
+        if ratio >= 1.0 {
+            failures.push(("scatter engine/naive in-run invariant".to_string(), ratio));
         }
     }
 

@@ -2,20 +2,15 @@
 //!
 //! Ranks own only a run of T-layers, so their local buffer is a [`Grid3`]
 //! whose T axis starts at an *offset* into the global grid. This module
-//! re-hosts the `PB-SYM` invariant machinery onto such a buffer.
+//! re-hosts the shared scatter engine (`kernel_apply`) onto such a buffer:
+//! the same axis tables, chord clipping, and native-scalar `axpy` rows,
+//! with the T index shifted by the slab offset.
 
-use crate::kernel_apply::{fill_bar, fill_disk, write_region};
+use crate::kernel_apply::{scatter_rows, write_region, Scratch};
 use crate::problem::Problem;
 use stkde_data::Point;
-use stkde_grid::{Grid3, Scalar, VoxelRange};
+use stkde_grid::{Grid3, Scalar, SharedGrid, VoxelRange};
 use stkde_kernels::SpaceTimeKernel;
-
-/// Reusable invariant buffers for slab application.
-#[derive(Debug, Default)]
-pub(crate) struct SlabScratch {
-    disk: Vec<f64>,
-    bar: Vec<f64>,
-}
 
 /// Scatter one point with `PB-SYM` into a slab buffer whose layer `l`
 /// holds global layer `t_off + l`, restricted to the *global* clip range.
@@ -29,28 +24,25 @@ pub(crate) fn apply_point_slab<S: Scalar, K: SpaceTimeKernel>(
     kernel: &K,
     p: &Point,
     clip: VoxelRange,
-    scratch: &mut SlabScratch,
+    scratch: &mut Scratch<S>,
 ) {
     debug_assert!(clip.t0 >= t_off && clip.t1 <= t_off + grid.dims().gt);
     let r = write_region(problem, p, clip);
     if r.is_empty() {
         return;
     }
-    fill_disk(problem, kernel, p, r, &mut scratch.disk);
-    fill_bar(problem, kernel, p, r, &mut scratch.bar);
-    let width = r.x1 - r.x0;
-    for (ti, t) in (r.t0..r.t1).enumerate() {
-        let kt = scratch.bar[ti];
-        if kt == 0.0 {
-            continue;
-        }
-        for (yi, y) in (r.y0..r.y1).enumerate() {
-            let row = grid.row_mut(y, t - t_off, r.x0, r.x1);
-            let disk_row = &scratch.disk[yi * width..(yi + 1) * width];
-            for (out, &ks) in row.iter_mut().zip(disk_row) {
-                *out += S::from_f64(ks * kt);
-            }
-        }
+    scratch.prepare_sym(problem, kernel, p, r);
+    let shared = SharedGrid::new(grid);
+    let Scratch {
+        chords,
+        disk,
+        planes,
+        ..
+    } = scratch;
+    // SAFETY: `grid` is exclusively borrowed for the duration of the
+    // shared view and this call is the only writer — trivially race-free.
+    unsafe {
+        scatter_rows(&shared, t_off, r, chords, disk, planes);
     }
 }
 
@@ -80,7 +72,7 @@ mod tests {
             t0: t_off,
             t1: t_end,
         };
-        let mut scratch = SlabScratch::default();
+        let mut scratch = Scratch::default();
         for p in &points {
             apply_point_slab(
                 &mut slab,

@@ -9,9 +9,10 @@
 //! per rank) and voxel-sized messages, the distributed echo of DR's
 //! replica-reduction cost.
 
-use super::apply::{apply_point_slab, SlabScratch};
+use super::apply::apply_point_slab;
 use super::slab::{owner_of, owners_of_layers, slab_bounds, slab_range};
 use super::{gather_slabs, DistMsg, RankOutput, TAG_HALO, TAG_POINTS};
+use crate::kernel_apply::Scratch;
 use crate::problem::Problem;
 use stkde_comm::Comm;
 use stkde_data::Point;
@@ -63,7 +64,7 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
 
     // Phase 1 — full (unclipped within the extended slab) cylinders of the
     // rank's own points. Work-efficient: every invariant computed once.
-    let mut scratch = SlabScratch::default();
+    let mut scratch = Scratch::default();
     let start = std::time::Instant::now();
     for p in &local {
         apply_point_slab(&mut ext, ext_t0, problem, kernel, p, clip, &mut scratch);

@@ -8,9 +8,10 @@
 //! by [`DistResult::replication_factor`](super::DistResult::replication_factor);
 //! network traffic is small (24 bytes per routed point).
 
-use super::apply::{apply_point_slab, SlabScratch};
+use super::apply::apply_point_slab;
 use super::slab::{owners_of_layers, slab_range};
 use super::{gather_slabs, DistMsg, RankOutput, TAG_POINTS};
+use crate::kernel_apply::Scratch;
 use crate::problem::Problem;
 use stkde_comm::Comm;
 use stkde_data::Point;
@@ -52,7 +53,7 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
     // Phase 2 — clipped PB-SYM over the owned slab.
     let slab = slab_range(dims, size, comm.rank());
     let mut grid: Grid3<S> = Grid3::zeros(GridDims::new(dims.gx, dims.gy, slab.t1 - slab.t0));
-    let mut scratch = SlabScratch::default();
+    let mut scratch = Scratch::default();
     let start = std::time::Instant::now();
     for p in &mine {
         apply_point_slab(&mut grid, slab.t0, problem, kernel, p, slab, &mut scratch);

@@ -29,7 +29,7 @@
 //! know that equal generations mean byte-identical cubes.
 
 use crate::algorithms::pb_sym;
-use crate::kernel_apply::{apply_points_seq, PointKernel};
+use crate::kernel_apply::{apply_points_seq_with, PointKernel, Scratch};
 use crate::problem::Problem;
 use std::collections::VecDeque;
 use stkde_data::Point;
@@ -61,6 +61,10 @@ pub struct IncrementalStkde<S, K = Epanechnikov> {
     n: usize,
     /// Monotone mutation counter: equal generations ⇒ identical cubes.
     generation: u64,
+    /// Persistent scatter-engine buffers: the per-event insert/evict path
+    /// (a server ingest thread pays it per batch) reuses one allocation
+    /// instead of churning a fresh `Scratch` per mutation.
+    scratch: Scratch<S>,
 }
 
 impl<S: Scalar> IncrementalStkde<S, Epanechnikov> {
@@ -81,6 +85,7 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
             grid: Grid3::zeros(domain.dims()),
             n: 0,
             generation: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -126,13 +131,14 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
     pub fn insert(&mut self, p: Point) {
         let problem = self.unit_problem(1.0);
         let clip = VoxelRange::full(self.domain.dims());
-        apply_points_seq(
+        apply_points_seq_with(
             PointKernel::Sym,
             &mut self.grid,
             &problem,
             &self.kernel,
             &[p],
             clip,
+            &mut self.scratch,
         );
         self.n += 1;
         self.generation += 1;
@@ -148,13 +154,14 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
         }
         let problem = self.unit_problem(1.0);
         let clip = VoxelRange::full(self.domain.dims());
-        apply_points_seq(
+        apply_points_seq_with(
             PointKernel::Sym,
             &mut self.grid,
             &problem,
             &self.kernel,
             points,
             clip,
+            &mut self.scratch,
         );
         self.n += points.len();
         self.generation += 1;
@@ -172,13 +179,14 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
         assert!(self.n > 0, "remove from an empty cube");
         let problem = self.unit_problem(-1.0);
         let clip = VoxelRange::full(self.domain.dims());
-        apply_points_seq(
+        apply_points_seq_with(
             PointKernel::Sym,
             &mut self.grid,
             &problem,
             &self.kernel,
             std::slice::from_ref(p),
             clip,
+            &mut self.scratch,
         );
         self.n -= 1;
         self.generation += 1;

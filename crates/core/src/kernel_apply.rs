@@ -1,5 +1,4 @@
-//! The per-point rasterization kernels shared by every point-based
-//! algorithm.
+//! The per-point scatter engine shared by every point-based algorithm.
 //!
 //! Each function scatters one event's density cylinder into the grid,
 //! restricted to a clip range (the full grid for undecomposed algorithms,
@@ -8,27 +7,216 @@
 //! | function | spatial kernel evaluated | temporal kernel evaluated |
 //! |---|---|---|
 //! | [`apply_point_pb`]   | per voxel | per voxel |
-//! | [`apply_point_disk`] | once per (X, Y) | per voxel |
+//! | [`apply_point_disk`] | once per (X, Y) | once per T-plane |
 //! | [`apply_point_bar`]  | per voxel | once per T |
 //! | [`apply_point_sym`]  | once per (X, Y) | once per T |
+//!
+//! # The scatter engine
+//!
+//! The hoisted variants share one engine built from three observations:
+//!
+//! 1. **Separable geometry.** The normalized offsets `u`, `v`, `w` each
+//!    depend on a single axis, so the engine precomputes per-axis tables
+//!    `u[X]`, `v[Y]`, `w[T]` once per point ([`Scratch::fill_axes`]) —
+//!    `O(W+H+T)` work instead of the `O(W·H)` per-voxel `voxel_center`/
+//!    `uv` calls a naive rasterizer pays.
+//! 2. **Span clipping.** The spatial support is the open unit disk, so
+//!    each Y-row's nonzero X-span (its *chord*) follows analytically from
+//!    `u² + v² < 1` ([`Scratch::fill_chords`]). Iterating only the chord
+//!    skips the ≈21% of the bounding box that is guaranteed zero and
+//!    shrinks the written region. Chords are widened by one voxel per
+//!    side so float rounding can never drop an in-support voxel; the
+//!    extra entries evaluate to kernel value 0 and add exact zeros.
+//! 3. **Native-scalar invariants.** The disk `Ks[X][Y]` (normalization
+//!    folded in) and bar `Kt[T]` are converted to the grid scalar `S`
+//!    once per point, so the inner loop is a pure
+//!    `row[X] += Ks[X] · Kt` over stride-1 memory
+//!    ([`stkde_grid::axpy_row`]) with no `f64 → S` conversion per
+//!    element — the conversion that otherwise blocks `f32`
+//!    autovectorization.
 //!
 //! All writes go through [`SharedGrid`]; the **safety contract** is that
 //! the caller holds exclusive access to the clipped cylinder region
 //! (single-threaded use, disjoint subdomains, or stencil-scheduled
 //! subdomains — see `stkde_grid::shared`). The safe entry points
-//! ([`apply_points_seq`]) wrap an exclusive `&mut Grid3`.
+//! ([`apply_points_seq`], [`apply_points_seq_with`]) wrap an exclusive
+//! `&mut Grid3`.
 
 use crate::problem::Problem;
 use stkde_data::Point;
-use stkde_grid::{Grid3, Scalar, SharedGrid, VoxelRange};
+use stkde_grid::{axpy_row, Grid3, Scalar, SharedGrid, VoxelRange};
 use stkde_kernels::SpaceTimeKernel;
 
-/// Reusable per-worker scratch buffers for the kernel invariants
-/// (avoids a heap allocation per point).
+/// One Y-row's nonzero X-span inside the write region: voxels
+/// `x ∈ [x0, x1)` with the packed disk values starting at `off`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Chord {
+    /// Inclusive start (absolute grid X).
+    pub(crate) x0: u32,
+    /// Exclusive end (absolute grid X).
+    pub(crate) x1: u32,
+    /// Start of this row's values in the packed disk buffer.
+    pub(crate) off: u32,
+}
+
+impl Chord {
+    #[inline(always)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.x0 >= self.x1
+    }
+
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        (self.x1 - self.x0) as usize
+    }
+}
+
+/// Reusable per-worker buffers holding one point's precomputed scatter
+/// state: axis offset tables, per-row chords, and the kernel invariants in
+/// the grid's native scalar. Reusing one `Scratch` across points (and
+/// batches — see [`apply_points_seq_with`]) keeps the hot path free of
+/// heap allocation.
 #[derive(Debug, Default, Clone)]
-pub struct Scratch {
-    disk: Vec<f64>,
-    bar: Vec<f64>,
+pub struct Scratch<S = f64> {
+    /// `u[X - r.x0] = (cx − px)/hs` — spatial offset along X.
+    pub(crate) u: Vec<f64>,
+    /// `v[Y - r.y0] = (cy − py)/hs` — spatial offset along Y.
+    pub(crate) v: Vec<f64>,
+    /// `w[T - r.t0] = (ct − pt)/ht` — temporal offset along T.
+    pub(crate) w: Vec<f64>,
+    /// Per-Y-row nonzero X-spans.
+    pub(crate) chords: Vec<Chord>,
+    /// Packed chord values `Ks · norm`, native scalar.
+    pub(crate) disk: Vec<S>,
+    /// Temporal invariant `Kt[T]` (f64 — used for exact zero tests).
+    pub(crate) bar: Vec<f64>,
+    /// The nonzero planes of the bar as `(absolute T, Kt)` pairs, `Kt`
+    /// converted to the native scalar once per point. Zero planes are
+    /// dropped here so the scatter loop never branches on them.
+    pub(crate) planes: Vec<(u32, S)>,
+}
+
+impl<S: Scalar> Scratch<S> {
+    /// Fill the per-axis offset tables for point `p` over region `r` —
+    /// `O(W+H+T)` geometry replacing per-voxel `voxel_center` calls.
+    ///
+    /// The expressions mirror [`Problem::uv`] / [`Problem::w`] exactly, so
+    /// table entries are bitwise identical to the per-voxel evaluation.
+    pub(crate) fn fill_axes(&mut self, problem: &Problem, p: &Point, r: VoxelRange) {
+        let domain = &problem.domain;
+        let (hs, ht) = (problem.bw.hs, problem.bw.ht);
+        self.u.clear();
+        self.u
+            .extend((r.x0..r.x1).map(|x| (domain.voxel_center(x, 0, 0)[0] - p.x) / hs));
+        self.v.clear();
+        self.v
+            .extend((r.y0..r.y1).map(|y| (domain.voxel_center(0, y, 0)[1] - p.y) / hs));
+        self.w.clear();
+        self.w
+            .extend((r.t0..r.t1).map(|t| (domain.voxel_center(0, 0, t)[2] - p.t) / ht));
+    }
+
+    /// Compute each Y-row's chord `[x0, x1)` from the unit-disk support:
+    /// the in-support voxels of row `y` satisfy `u(x)² + v(y)² < 1`, and
+    /// `u` is affine in `x`, so the bounds are two closed-form divisions.
+    /// Bounds are widened by up to a voxel per side (floor/ceil) so float
+    /// rounding can only add guaranteed-zero entries, never drop support.
+    ///
+    /// Requires [`fill_axes`](Self::fill_axes) for the `v` table.
+    pub(crate) fn fill_chords(&mut self, problem: &Problem, p: &Point, r: VoxelRange) {
+        // u(x) crosses ±umax at x = center ± umax·hs/sres.
+        let center = problem.domain.frac_voxel_x(p.x);
+        let hs_vox = problem.bw.hs / problem.domain.resolution().sres;
+        self.chords.clear();
+        for &v in &self.v {
+            let d = 1.0 - v * v;
+            if d <= 0.0 {
+                // Whole row is outside the disk (u² + v² ≥ 1 for any u).
+                self.chords.push(Chord::default());
+                continue;
+            }
+            let half = d.sqrt() * hs_vox;
+            let lo = (center - half).floor();
+            let hi = (center + half).ceil();
+            let x0 = if lo <= r.x0 as f64 { r.x0 } else { lo as usize };
+            let x1 = if hi + 1.0 >= r.x1 as f64 {
+                r.x1
+            } else {
+                hi as usize + 1
+            };
+            self.chords.push(Chord {
+                x0: x0 as u32,
+                x1: x1.max(x0) as u32,
+                off: 0,
+            });
+        }
+    }
+
+    /// Evaluate the spatial invariant `Ks · norm` over the chords into the
+    /// packed `disk` buffer (native scalar, converted once per entry here
+    /// rather than once per voxel update in the T loop).
+    ///
+    /// Requires [`fill_axes`](Self::fill_axes) and
+    /// [`fill_chords`](Self::fill_chords).
+    pub(crate) fn fill_disk<K: SpaceTimeKernel>(&mut self, kernel: &K, r: VoxelRange, norm: f64) {
+        let Self {
+            u, v, chords, disk, ..
+        } = self;
+        disk.clear();
+        for (c, &vv) in chords.iter_mut().zip(v.iter()) {
+            c.off = disk.len() as u32;
+            if c.is_empty() {
+                continue;
+            }
+            let urow = &u[c.x0 as usize - r.x0..c.x1 as usize - r.x0];
+            disk.extend(
+                urow.iter()
+                    .map(|&uu| S::from_f64(kernel.spatial(uu, vv) * norm)),
+            );
+        }
+    }
+
+    /// Evaluate the temporal invariant `Kt[T]`, keeping the `f64` values
+    /// (for exact zero tests) and the packed nonzero-plane list with the
+    /// native-scalar conversion.
+    ///
+    /// Requires [`fill_axes`](Self::fill_axes).
+    pub(crate) fn fill_bar<K: SpaceTimeKernel>(&mut self, kernel: &K) {
+        let Self { w, bar, .. } = self;
+        bar.clear();
+        bar.extend(w.iter().map(|&ww| kernel.temporal(ww)));
+    }
+
+    /// Pack the nonzero planes of the bar as `(absolute T, Kt)` pairs in
+    /// the native scalar — the form [`scatter_rows`] consumes. Separate
+    /// from [`fill_bar`](Self::fill_bar) because consumers that do their
+    /// own T loop in `f64` (the sparse backend) only need the bar.
+    pub(crate) fn fill_planes(&mut self, r: VoxelRange) {
+        let Self { bar, planes, .. } = self;
+        planes.clear();
+        planes.extend(
+            bar.iter()
+                .enumerate()
+                .filter(|&(_, &kt)| kt != 0.0)
+                .map(|(ti, &kt)| ((r.t0 + ti) as u32, S::from_f64(kt))),
+        );
+    }
+
+    /// Prepare the full `PB-SYM` state (axes, chords, disk, bar) for one
+    /// point over region `r`.
+    pub(crate) fn prepare_sym<K: SpaceTimeKernel>(
+        &mut self,
+        problem: &Problem,
+        kernel: &K,
+        p: &Point,
+        r: VoxelRange,
+    ) {
+        self.fill_axes(problem, p, r);
+        self.fill_chords(problem, p, r);
+        self.fill_disk(kernel, r, problem.norm);
+        self.fill_bar(kernel);
+        self.fill_planes(r);
+    }
 }
 
 /// Which §3 evaluation strategy to use for a point.
@@ -54,7 +242,42 @@ pub(crate) fn write_region(problem: &Problem, p: &Point, clip: VoxelRange) -> Vo
         .intersect(clip)
 }
 
+/// The engine's outer-product loop: for every nonempty chord row, axpy
+/// the row's packed disk slice onto each nonzero `(T, Kt)` plane. The Y
+/// loop is outermost so a chord's `Ks` values are loaded once and reused
+/// across all `2Ht+1` planes. `t_off` re-hosts the loop onto a slab
+/// buffer whose layer `l` holds global layer `t_off + l` (0 for a full
+/// grid — see `distmem::apply`).
+///
+/// # Safety
+/// The caller must hold exclusive access to the chords' voxels on the
+/// given planes (shifted by `t_off`) of `grid`, and the chords/planes
+/// must be in-bounds for `grid`.
+pub(crate) unsafe fn scatter_rows<S: Scalar>(
+    grid: &SharedGrid<'_, S>,
+    t_off: usize,
+    r: VoxelRange,
+    chords: &[Chord],
+    disk: &[S],
+    planes: &[(u32, S)],
+) {
+    for (yi, y) in (r.y0..r.y1).enumerate() {
+        let c = chords[yi];
+        if c.is_empty() {
+            continue;
+        }
+        let ks = &disk[c.off as usize..c.off as usize + c.len()];
+        for &(t, kt) in planes {
+            // SAFETY: forwarded from the caller contract.
+            let row = unsafe { grid.row_mut(y, t as usize - t_off, c.x0 as usize, c.x1 as usize) };
+            axpy_row(row, ks, kt);
+        }
+    }
+}
+
 /// `PB` (Algorithm 2): test and evaluate both kernel factors per voxel.
+/// This is the engine's naive reference; only the axis-table geometry is
+/// shared, the kernel work is deliberately per-voxel.
 ///
 /// # Safety
 /// The caller must hold exclusive access to `p`'s clipped cylinder region
@@ -65,22 +288,21 @@ pub unsafe fn apply_point_pb<S: Scalar, K: SpaceTimeKernel>(
     kernel: &K,
     p: &Point,
     clip: VoxelRange,
+    scratch: &mut Scratch<S>,
 ) {
     let r = write_region(problem, p, clip);
     if r.is_empty() {
         return;
     }
+    scratch.fill_axes(problem, p, r);
     let norm = problem.norm;
-    for t in r.t0..r.t1 {
-        let ct = problem.domain.voxel_center(0, 0, t)[2];
-        let w = problem.w(ct, p);
-        for y in r.y0..r.y1 {
-            let cy = problem.domain.voxel_center(0, y, 0)[1];
+    for (ti, t) in (r.t0..r.t1).enumerate() {
+        let w = scratch.w[ti];
+        for (yi, y) in (r.y0..r.y1).enumerate() {
+            let v = scratch.v[yi];
             // SAFETY: forwarded from the caller contract.
             let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
-            for (i, out) in row.iter_mut().enumerate() {
-                let cx = problem.domain.voxel_center(r.x0 + i, 0, 0)[0];
-                let (u, v) = problem.uv(cx, cy, p);
+            for (out, &u) in row.iter_mut().zip(&scratch.u) {
                 // kernel.eval is zero outside the support, which is exactly
                 // the paper's `d < hs && |dt| <= ht` membership test.
                 let val = kernel.eval(u, v, w);
@@ -92,8 +314,9 @@ pub unsafe fn apply_point_pb<S: Scalar, K: SpaceTimeKernel>(
     }
 }
 
-/// `PB-DISK`: spatial invariant `Ks[X][Y]` computed once, temporal factor
-/// still evaluated per voxel.
+/// `PB-DISK`: spatial invariant `Ks[X][Y]` computed once; the temporal
+/// factor is evaluated per T-plane (`w` is constant across a plane, so
+/// per-voxel re-evaluation would repeat the same call `W·H` times).
 ///
 /// # Safety
 /// Same contract as [`apply_point_pb`].
@@ -103,35 +326,43 @@ pub unsafe fn apply_point_disk<S: Scalar, K: SpaceTimeKernel>(
     kernel: &K,
     p: &Point,
     clip: VoxelRange,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<S>,
 ) {
     let r = write_region(problem, p, clip);
     if r.is_empty() {
         return;
     }
-    fill_disk(problem, kernel, p, r, &mut scratch.disk);
-    let width = r.width_x();
-    for t in r.t0..r.t1 {
-        let ct = problem.domain.voxel_center(0, 0, t)[2];
-        let w = problem.w(ct, p);
+    scratch.fill_axes(problem, p, r);
+    scratch.fill_chords(problem, p, r);
+    scratch.fill_disk(kernel, r, problem.norm);
+    let Scratch {
+        w, chords, disk, ..
+    } = scratch;
+    for (ti, t) in (r.t0..r.t1).enumerate() {
+        // Temporal factor evaluated once per plane — `w` is constant
+        // across a plane, so the old per-voxel evaluation repeated the
+        // same call `W·H` times. PB-SYM's bar table removes even the
+        // per-plane re-evaluation.
+        let kt = kernel.temporal(w[ti]);
+        if kt == 0.0 {
+            continue;
+        }
+        let kt_s = S::from_f64(kt);
         for (yi, y) in (r.y0..r.y1).enumerate() {
-            // SAFETY: forwarded from the caller contract.
-            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
-            let disk_row = &scratch.disk[yi * width..(yi + 1) * width];
-            for (out, &ks) in row.iter_mut().zip(disk_row) {
-                if ks != 0.0 {
-                    // Temporal factor evaluated per voxel — the cost PB-SYM
-                    // later removes.
-                    let val = ks * kernel.temporal(w);
-                    *out += S::from_f64(val);
-                }
+            let c = chords[yi];
+            if c.is_empty() {
+                continue;
             }
+            // SAFETY: forwarded from the caller contract.
+            let row = unsafe { grid.row_mut(y, t, c.x0 as usize, c.x1 as usize) };
+            axpy_row(row, &disk[c.off as usize..c.off as usize + c.len()], kt_s);
         }
     }
 }
 
-/// `PB-BAR`: temporal invariant `Kt[T]` computed once, spatial factor still
-/// evaluated per voxel.
+/// `PB-BAR`: temporal invariant `Kt[T]` computed once, spatial factor
+/// still evaluated per voxel (over the chords only — voxels outside the
+/// disk contribute exactly zero).
 ///
 /// # Safety
 /// Same contract as [`apply_point_pb`].
@@ -141,26 +372,31 @@ pub unsafe fn apply_point_bar<S: Scalar, K: SpaceTimeKernel>(
     kernel: &K,
     p: &Point,
     clip: VoxelRange,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<S>,
 ) {
     let r = write_region(problem, p, clip);
     if r.is_empty() {
         return;
     }
-    fill_bar(problem, kernel, p, r, &mut scratch.bar);
+    scratch.fill_axes(problem, p, r);
+    scratch.fill_chords(problem, p, r);
+    scratch.fill_bar(kernel);
     let norm = problem.norm;
     for (ti, t) in (r.t0..r.t1).enumerate() {
         let kt = scratch.bar[ti];
         if kt == 0.0 {
             continue;
         }
-        for y in r.y0..r.y1 {
-            let cy = problem.domain.voxel_center(0, y, 0)[1];
+        for (yi, y) in (r.y0..r.y1).enumerate() {
+            let c = scratch.chords[yi];
+            if c.is_empty() {
+                continue;
+            }
+            let v = scratch.v[yi];
             // SAFETY: forwarded from the caller contract.
-            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
+            let row = unsafe { grid.row_mut(y, t, c.x0 as usize, c.x1 as usize) };
             for (i, out) in row.iter_mut().enumerate() {
-                let cx = problem.domain.voxel_center(r.x0 + i, 0, 0)[0];
-                let (u, v) = problem.uv(cx, cy, p);
+                let u = scratch.u[c.x0 as usize - r.x0 + i];
                 let ks = kernel.spatial(u, v);
                 if ks != 0.0 {
                     *out += S::from_f64(ks * kt * norm);
@@ -171,7 +407,8 @@ pub unsafe fn apply_point_bar<S: Scalar, K: SpaceTimeKernel>(
 }
 
 /// `PB-SYM` (Algorithm 3): both invariants hoisted; the triple loop is a
-/// pure outer product `stkde[X][Y][T] += Ks[X][Y] · Kt[T]`.
+/// pure outer product `stkde[X][Y][T] += Ks[X][Y] · Kt[T]`, executed by
+/// the engine as chord-clipped [`axpy_row`] calls in the native scalar.
 ///
 /// # Safety
 /// Same contract as [`apply_point_pb`].
@@ -181,29 +418,22 @@ pub unsafe fn apply_point_sym<S: Scalar, K: SpaceTimeKernel>(
     kernel: &K,
     p: &Point,
     clip: VoxelRange,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<S>,
 ) {
     let r = write_region(problem, p, clip);
     if r.is_empty() {
         return;
     }
-    fill_disk(problem, kernel, p, r, &mut scratch.disk);
-    fill_bar(problem, kernel, p, r, &mut scratch.bar);
-    let width = r.width_x();
-    for (ti, t) in (r.t0..r.t1).enumerate() {
-        let kt = scratch.bar[ti];
-        if kt == 0.0 {
-            continue;
-        }
-        for (yi, y) in (r.y0..r.y1).enumerate() {
-            // SAFETY: forwarded from the caller contract.
-            let row = unsafe { grid.row_mut(y, t, r.x0, r.x1) };
-            let disk_row = &scratch.disk[yi * width..(yi + 1) * width];
-            // Stride-1 fused multiply-add over the X row.
-            for (out, &ks) in row.iter_mut().zip(disk_row) {
-                *out += S::from_f64(ks * kt);
-            }
-        }
+    scratch.prepare_sym(problem, kernel, p, r);
+    let Scratch {
+        chords,
+        disk,
+        planes,
+        ..
+    } = scratch;
+    // SAFETY: forwarded from the caller contract.
+    unsafe {
+        scatter_rows(grid, 0, r, chords, disk, planes);
     }
 }
 
@@ -218,12 +448,12 @@ pub unsafe fn apply_point<S: Scalar, K: SpaceTimeKernel>(
     kernel: &K,
     p: &Point,
     clip: VoxelRange,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<S>,
 ) {
     // SAFETY: forwarded from the caller contract.
     unsafe {
         match which {
-            PointKernel::Plain => apply_point_pb(grid, problem, kernel, p, clip),
+            PointKernel::Plain => apply_point_pb(grid, problem, kernel, p, clip, scratch),
             PointKernel::Disk => apply_point_disk(grid, problem, kernel, p, clip, scratch),
             PointKernel::Bar => apply_point_bar(grid, problem, kernel, p, clip, scratch),
             PointKernel::Sym => apply_point_sym(grid, problem, kernel, p, clip, scratch),
@@ -233,6 +463,10 @@ pub unsafe fn apply_point<S: Scalar, K: SpaceTimeKernel>(
 
 /// Safe sequential driver: scatter `points` into an exclusively borrowed
 /// grid using the chosen strategy, clipped to `clip`.
+///
+/// Allocates a fresh [`Scratch`] per call; long-lived callers (server
+/// ingest, streaming windows) should hold one and use
+/// [`apply_points_seq_with`] instead.
 pub fn apply_points_seq<S: Scalar, K: SpaceTimeKernel>(
     which: PointKernel,
     grid: &mut Grid3<S>,
@@ -241,54 +475,35 @@ pub fn apply_points_seq<S: Scalar, K: SpaceTimeKernel>(
     points: &[Point],
     clip: VoxelRange,
 ) {
+    apply_points_seq_with(
+        which,
+        grid,
+        problem,
+        kernel,
+        points,
+        clip,
+        &mut Scratch::default(),
+    );
+}
+
+/// [`apply_points_seq`] with caller-provided scratch buffers, so repeated
+/// batches reuse one allocation instead of churning per call.
+pub fn apply_points_seq_with<S: Scalar, K: SpaceTimeKernel>(
+    which: PointKernel,
+    grid: &mut Grid3<S>,
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    clip: VoxelRange,
+    scratch: &mut Scratch<S>,
+) {
     let shared = SharedGrid::new(grid);
-    let mut scratch = Scratch::default();
     for p in points {
         // SAFETY: `grid` is exclusively borrowed and this loop is the only
         // writer — trivially race-free.
         unsafe {
-            apply_point(which, &shared, problem, kernel, p, clip, &mut scratch);
+            apply_point(which, &shared, problem, kernel, p, clip, scratch);
         }
-    }
-}
-
-/// The spatial invariant `Ks[X][Y] = ks(u, v) / (n·hs²·ht)` over the clip
-/// region (paper Algorithm 3, first block). The normalization is folded in
-/// here, as in the paper.
-pub(crate) fn fill_disk<K: SpaceTimeKernel>(
-    problem: &Problem,
-    kernel: &K,
-    p: &Point,
-    r: VoxelRange,
-    disk: &mut Vec<f64>,
-) {
-    disk.clear();
-    disk.reserve(r.width_x() * r.width_y());
-    let norm = problem.norm;
-    for y in r.y0..r.y1 {
-        let cy = problem.domain.voxel_center(0, y, 0)[1];
-        for x in r.x0..r.x1 {
-            let cx = problem.domain.voxel_center(x, 0, 0)[0];
-            let (u, v) = problem.uv(cx, cy, p);
-            disk.push(kernel.spatial(u, v) * norm);
-        }
-    }
-}
-
-/// The temporal invariant `Kt[T] = kt(w)` over the clip region
-/// (paper Algorithm 3, second block).
-pub(crate) fn fill_bar<K: SpaceTimeKernel>(
-    problem: &Problem,
-    kernel: &K,
-    p: &Point,
-    r: VoxelRange,
-    bar: &mut Vec<f64>,
-) {
-    bar.clear();
-    bar.reserve(r.width_t());
-    for t in r.t0..r.t1 {
-        let ct = problem.domain.voxel_center(0, 0, t)[2];
-        bar.push(kernel.temporal(problem.w(ct, p)));
     }
 }
 
@@ -329,6 +544,76 @@ mod tests {
                 "{which:?} diverges from PB"
             );
         }
+    }
+
+    #[test]
+    fn chords_cover_the_support_exactly() {
+        // Every voxel with nonzero spatial kernel value must lie inside
+        // its row's chord; the widened boundary entries must all be zero.
+        let (problem, points) = setup();
+        let r = VoxelRange::full(problem.domain.dims());
+        let mut scratch: Scratch<f64> = Scratch::default();
+        for p in &points {
+            let r = write_region(&problem, p, r);
+            scratch.fill_axes(&problem, p, r);
+            scratch.fill_chords(&problem, p, r);
+            for (yi, y) in (r.y0..r.y1).enumerate() {
+                let c = scratch.chords[yi];
+                let cy = problem.domain.voxel_center(0, y, 0)[1];
+                for x in r.x0..r.x1 {
+                    let cx = problem.domain.voxel_center(x, 0, 0)[0];
+                    let (u, v) = problem.uv(cx, cy, p);
+                    let ks = Epanechnikov.spatial(u, v);
+                    let inside = (x as u32) >= c.x0 && (x as u32) < c.x1;
+                    assert!(
+                        inside || ks == 0.0,
+                        "nonzero voxel ({x},{y}) outside chord {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_idempotent() {
+        // The same scratch driven through different strategies and points
+        // must not leak state between uses.
+        let (problem, points) = setup();
+        let clip = VoxelRange::full(problem.domain.dims());
+        let mut fresh: Grid3<f64> = Grid3::zeros(problem.domain.dims());
+        apply_points_seq(
+            PointKernel::Sym,
+            &mut fresh,
+            &problem,
+            &Epanechnikov,
+            &points,
+            clip,
+        );
+        let mut reused: Grid3<f64> = Grid3::zeros(problem.domain.dims());
+        let mut scratch = Scratch::default();
+        // Warm the scratch with other strategies first.
+        let mut warmup: Grid3<f64> = Grid3::zeros(problem.domain.dims());
+        for which in [PointKernel::Plain, PointKernel::Bar, PointKernel::Disk] {
+            apply_points_seq_with(
+                which,
+                &mut warmup,
+                &problem,
+                &Epanechnikov,
+                &points,
+                clip,
+                &mut scratch,
+            );
+        }
+        apply_points_seq_with(
+            PointKernel::Sym,
+            &mut reused,
+            &problem,
+            &Epanechnikov,
+            &points,
+            clip,
+            &mut scratch,
+        );
+        assert_eq!(fresh, reused);
     }
 
     #[test]

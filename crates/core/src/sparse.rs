@@ -26,7 +26,7 @@
 //! the `ablation_sparse` harness and `benches/sparse.rs` quantify the
 //! crossover.
 
-use crate::kernel_apply::{fill_bar, fill_disk, write_region};
+use crate::kernel_apply::{write_region, Scratch};
 use crate::parallel::{chunk_bounds, make_pool};
 use crate::problem::Problem;
 use crate::timing::{PhaseTimings, Stopwatch};
@@ -56,8 +56,8 @@ impl<S: Scalar> SparseResult<S> {
 }
 
 /// Scatter one point's cylinder into a sparse grid using the `PB-SYM`
-/// invariants, writing only the non-zero span of each disk row so block
-/// allocation tracks the cylinder (not its bounding box).
+/// scatter engine, writing only the non-zero span of each disk row so
+/// block allocation tracks the cylinder (not its bounding box).
 fn apply_point_sparse<S: Scalar, K: SpaceTimeKernel>(
     grid: &mut SparseGrid3<S>,
     problem: &Problem,
@@ -69,28 +69,36 @@ fn apply_point_sparse<S: Scalar, K: SpaceTimeKernel>(
     if r.is_empty() {
         return;
     }
-    fill_disk(problem, kernel, p, r, &mut scratch.disk);
-    fill_bar(problem, kernel, p, r, &mut scratch.bar);
-    let width = r.x1 - r.x0;
-    let rows = r.y1 - r.y0;
-
-    // Non-zero [start, end) span of each disk row. A row of a disk is an
-    // interval, so trimming zero prefix/suffix recovers the exact support.
+    // f64 staging regardless of the grid scalar: the sparse backend
+    // converts at `add_row_f64` time, like the dense path converts on
+    // accumulation. The engine's packed `(T, Kt)` plane list is not
+    // built — this loop consumes the f64 bar directly.
+    scratch.inv.fill_axes(problem, p, r);
+    scratch.inv.fill_chords(problem, p, r);
+    scratch.inv.fill_disk(kernel, r, problem.norm);
+    scratch.inv.fill_bar(kernel);
+    // The engine's chords carry a guard voxel of exact zeros per side;
+    // trim each row's zero fringe once per point (reused across all T
+    // planes) so blocks are only allocated for voxels the cylinder
+    // actually touches.
     scratch.spans.clear();
-    for yi in 0..rows {
-        let row = &scratch.disk[yi * width..(yi + 1) * width];
-        let start = row.iter().position(|&v| v != 0.0);
-        match start {
+    for c in &scratch.inv.chords {
+        let disk_row = &scratch.inv.disk[c.off as usize..c.off as usize + c.len()];
+        match disk_row.iter().position(|&v| v != 0.0) {
             None => scratch.spans.push((0, 0)),
             Some(s) => {
-                let e = width - row.iter().rev().position(|&v| v != 0.0).expect("non-empty");
-                scratch.spans.push((s, e));
+                let e = disk_row.len()
+                    - disk_row
+                        .iter()
+                        .rev()
+                        .position(|&v| v != 0.0)
+                        .expect("non-empty");
+                scratch.spans.push((s as u32, e as u32));
             }
         }
     }
-
     for (ti, t) in (r.t0..r.t1).enumerate() {
-        let kt = scratch.bar[ti];
+        let kt = scratch.inv.bar[ti];
         if kt == 0.0 {
             continue;
         }
@@ -99,22 +107,24 @@ fn apply_point_sparse<S: Scalar, K: SpaceTimeKernel>(
             if s == e {
                 continue;
             }
-            let disk_row = &scratch.disk[yi * width + s..yi * width + e];
+            let c = scratch.inv.chords[yi];
+            let disk_row =
+                &scratch.inv.disk[c.off as usize + s as usize..c.off as usize + e as usize];
             scratch.row.clear();
             scratch.row.extend(disk_row.iter().map(|&ks| ks * kt));
-            grid.add_row_f64(y, t, r.x0 + s, &scratch.row);
+            grid.add_row_f64(y, t, c.x0 as usize + s as usize, &scratch.row);
         }
     }
 }
 
-/// Per-worker scratch for the sparse kernel (disk/bar invariants, row
-/// product buffer, per-row support spans).
+/// Per-worker scratch for the sparse kernel: the shared engine invariants
+/// (f64 staging), the per-row product buffer, and the per-point trimmed
+/// nonzero span of each chord.
 #[derive(Debug, Default, Clone)]
 struct SparseScratch {
-    disk: Vec<f64>,
-    bar: Vec<f64>,
+    inv: Scratch<f64>,
     row: Vec<f64>,
-    spans: Vec<(usize, usize)>,
+    spans: Vec<(u32, u32)>,
 }
 
 /// Sequential sparse `PB-SYM` with the default block shape.

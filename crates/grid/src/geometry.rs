@@ -262,6 +262,18 @@ impl Domain {
         ]
     }
 
+    /// The *fractional* voxel X-coordinate whose center is the world
+    /// position `wx` — the inverse of [`Domain::voxel_center`] along X:
+    /// `voxel_center(x, _, _)[0] == wx ⇔ x == frac_voxel_x(wx)`.
+    ///
+    /// Kernel-support span clipping solves for the voxel index where the
+    /// normalized offset crosses the support boundary; exposing the
+    /// inverse here keeps the world↔voxel mapping in one place.
+    #[inline]
+    pub fn frac_voxel_x(&self, wx: f64) -> f64 {
+        (wx - self.extent.min[0]) / self.res.sres - 0.5
+    }
+
     /// The voxel containing a world position, clamped into the grid.
     ///
     /// Positions outside the extent map to the nearest boundary voxel; this

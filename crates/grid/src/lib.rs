@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod axpy;
 pub mod decomp;
 pub mod dims;
 pub mod geometry;
@@ -37,6 +38,7 @@ pub mod shared;
 pub mod sparse;
 pub mod stats;
 
+pub use axpy::axpy_row;
 pub use decomp::{Decomp, Decomposition, SubdomainId};
 pub use dims::GridDims;
 pub use geometry::{Bandwidth, Domain, Extent, Resolution, VoxelBandwidth};

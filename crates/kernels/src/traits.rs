@@ -18,6 +18,13 @@
 /// yields a proper density (see [`crate::integrate`] for numeric checks).
 pub trait SpaceTimeKernel: Send + Sync {
     /// Spatial factor at normalized offsets `u = (x−xi)/hs`, `v = (y−yi)/hs`.
+    ///
+    /// Must return `0` whenever `u² + v² ≥ 1` (the open-unit-disk support
+    /// above). This is a **correctness contract**, not just a convention:
+    /// the scatter engine's span clipping derives each row's nonzero
+    /// X-span from `u² + v² < 1` and never evaluates the kernel outside
+    /// it, so a kernel with wider support (e.g. square) would silently
+    /// lose the mass outside the disk.
     fn spatial(&self, u: f64, v: f64) -> f64;
 
     /// Temporal factor at normalized offset `w = (t−ti)/ht`.
