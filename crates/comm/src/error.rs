@@ -1,0 +1,180 @@
+//! Typed communication errors.
+//!
+//! The in-process [`World`](crate::World) turns protocol bugs into panics
+//! (a deadlock between threads of one test is best crashed on). The
+//! multi-process [`ProcessWorld`](crate::process::ProcessWorld) cannot:
+//! a peer is a separate OS process that may die, stall, or speak garbage,
+//! and the surviving ranks must report that within a bounded deadline
+//! instead of hanging CI. Everything fallible in the process backend
+//! therefore returns [`CommError`].
+
+use std::fmt;
+
+/// Errors from the chunked wire codec ([`payload`](crate::payload)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A frame did not start with the frame magic byte.
+    BadMagic(u8),
+    /// A frame carried flag bits this codec does not define.
+    BadFlags(u8),
+    /// A frame advertised a chunk longer than the negotiated maximum.
+    OversizedChunk {
+        /// Advertised chunk payload length.
+        len: usize,
+        /// Maximum chunk payload length this decoder accepts.
+        max: usize,
+    },
+    /// Reassembling a message would exceed the configured message cap.
+    OversizedMessage {
+        /// Reassembled length the message would reach.
+        len: usize,
+        /// Maximum message length this decoder accepts.
+        max: usize,
+    },
+    /// A continuation frame changed tag mid-message; a stream must carry
+    /// each message's chunks contiguously.
+    MixedTags {
+        /// Tag of the message under reassembly.
+        started: u32,
+        /// Tag the offending frame carried.
+        got: u32,
+    },
+    /// The stream ended inside a frame or mid-message.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A complete message failed payload-level decoding.
+    BadPayload(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic(b) => write!(f, "bad frame magic byte 0x{b:02x}"),
+            CodecError::BadFlags(b) => write!(f, "undefined frame flag bits 0x{b:02x}"),
+            CodecError::OversizedChunk { len, max } => {
+                write!(f, "chunk of {len} bytes exceeds the {max}-byte chunk limit")
+            }
+            CodecError::OversizedMessage { len, max } => {
+                write!(f, "message of {len} bytes exceeds the {max}-byte cap")
+            }
+            CodecError::MixedTags { started, got } => write!(
+                f,
+                "frame tagged {got} interleaved into unfinished message tagged {started}"
+            ),
+            CodecError::Truncated { context } => write!(f, "stream truncated while {context}"),
+            CodecError::BadPayload(why) => write!(f, "payload decode failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Errors from a multi-process world: spawn, bootstrap, transport, or a
+/// peer rank failing to hold up the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The wire codec rejected incoming bytes.
+    Codec(CodecError),
+    /// An I/O operation on a socket or child handle failed.
+    Io(String),
+    /// A peer's connection closed while traffic was still expected.
+    PeerClosed {
+        /// The rank whose connection dropped (or this rank's whole inbox).
+        rank: usize,
+    },
+    /// A blocking operation exceeded its deadline.
+    Timeout {
+        /// How long the operation waited, in milliseconds.
+        waited_ms: u64,
+        /// What the operation was waiting for.
+        waiting_for: String,
+    },
+    /// A rank process exited abnormally or broke the launch protocol.
+    RankFailed {
+        /// The failing rank.
+        rank: usize,
+        /// Human-readable failure description (exit status, log tail…).
+        detail: String,
+    },
+    /// Launching a rank process failed.
+    Spawn(String),
+    /// The launch/shutdown protocol was violated.
+    Protocol(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Codec(e) => write!(f, "codec error: {e}"),
+            CommError::Io(e) => write!(f, "i/o error: {e}"),
+            CommError::PeerClosed { rank } => {
+                write!(f, "connection to rank {rank} closed unexpectedly")
+            }
+            CommError::Timeout {
+                waited_ms,
+                waiting_for,
+            } => write!(
+                f,
+                "timed out after {waited_ms} ms waiting for {waiting_for}"
+            ),
+            CommError::RankFailed { rank, detail } => write!(f, "rank {rank} failed: {detail}"),
+            CommError::Spawn(e) => write!(f, "failed to spawn rank process: {e}"),
+            CommError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<CodecError> for CommError {
+    fn from(e: CodecError) -> Self {
+        CommError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for CommError {
+    fn from(e: std::io::Error) -> Self {
+        CommError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(Box<dyn std::error::Error>, &str)> = vec![
+            (Box::new(CodecError::BadMagic(0xab)), "0xab"),
+            (
+                Box::new(CodecError::OversizedChunk { len: 9, max: 4 }),
+                "chunk",
+            ),
+            (
+                Box::new(CommError::Timeout {
+                    waited_ms: 250,
+                    waiting_for: "halo from rank 2".into(),
+                }),
+                "250 ms",
+            ),
+            (
+                Box::new(CommError::RankFailed {
+                    rank: 3,
+                    detail: "exit code 7".into(),
+                }),
+                "rank 3",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn codec_errors_convert() {
+        let e: CommError = CodecError::Truncated { context: "header" }.into();
+        assert!(matches!(e, CommError::Codec(_)));
+    }
+}

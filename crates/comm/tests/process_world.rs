@@ -1,0 +1,224 @@
+//! End-to-end tests of the multi-process backend.
+//!
+//! There is no separate rank executable at this layer, so these tests
+//! use the classic self-exec trick: the parent spawns *this very test
+//! binary* filtered down to [`rank_child_entry`], which detects the rank
+//! environment and runs the requested rank program instead of behaving
+//! like a test. With the environment unset (a normal `cargo test` run),
+//! `rank_child_entry` is an instant no-op pass.
+
+#![cfg(unix)]
+
+use std::time::{Duration, Instant};
+use stkde_comm::process::child_main;
+use stkde_comm::{CommError, ProcessComm, ProcessWorld, RankBoot, WorldComm};
+
+const PROGRAM_ENV: &str = "STKDE_TEST_PROGRAM";
+
+fn world(size: usize, program: &str) -> ProcessWorld {
+    ProcessWorld::new(size, std::env::current_exe().expect("test exe"))
+        .arg("rank_child_entry")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env(PROGRAM_ENV, program)
+        .timeout(Duration::from_secs(10))
+        .run_timeout(Duration::from_secs(60))
+}
+
+/// Not a test of anything by itself: the entry point rank processes run.
+#[test]
+fn rank_child_entry() {
+    let Some(boot) = RankBoot::from_env().expect("rank env parses") else {
+        return; // normal test run, nothing to do
+    };
+    let program = std::env::var(PROGRAM_ENV).expect("rank spawned without a program");
+    let code = match program.as_str() {
+        "ring" => child_main::<u64, _>(&boot, |c| {
+            let right = (c.rank() + 1) % c.size();
+            c.send(right, 0, c.rank() as u64)?;
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let got = c.recv(left, 0)?;
+            Ok(got.to_le_bytes().to_vec())
+        }),
+        "chunk_echo" => child_main::<Vec<u8>, _>(&boot, |c| {
+            // A payload far larger than the 512-byte chunk configured by
+            // the parent: exercises multi-frame reassembly across the
+            // process boundary in both directions.
+            let n = 100_000;
+            if c.rank() == 0 {
+                let mut total = 0u64;
+                for _ in 1..c.size() {
+                    let (from, data) = c.recv_any(1)?;
+                    if data.len() != n || !data.iter().all(|&b| b == from as u8) {
+                        return Err(CommError::Protocol(format!(
+                            "corrupt payload from rank {from}"
+                        )));
+                    }
+                    total += data.len() as u64;
+                    c.send(from, 2, data)?;
+                }
+                Ok(total.to_le_bytes().to_vec())
+            } else {
+                c.send(0, 1, vec![c.rank() as u8; n])?;
+                let back = c.recv(0, 2)?;
+                Ok((back.len() as u64).to_le_bytes().to_vec())
+            }
+        }),
+        "barrier_storm" => child_main::<(), _>(&boot, |c| {
+            for _ in 0..25 {
+                c.barrier()?;
+            }
+            Ok((c.stats().barriers as u64).to_le_bytes().to_vec())
+        }),
+        "tag_order" => child_main::<u64, _>(&boot, |c| {
+            // Out-of-order tags and self-sends must behave like the
+            // in-process world: selective receive buffers non-matching
+            // arrivals; self-sends deliver without billing.
+            if c.rank() == 0 {
+                c.send(1, 2, 222)?;
+                c.send(1, 1, 111)?;
+                c.send(0, 9, 42)?;
+                let own = c.recv(0, 9)?;
+                Ok(own.to_le_bytes().to_vec())
+            } else {
+                let first = c.recv(0, 1)?;
+                let second = c.recv(0, 2)?;
+                Ok((first * 1000 + second).to_le_bytes().to_vec())
+            }
+        }),
+        "exit_early" => {
+            if boot.rank == 1 {
+                // Die after the mesh is up but before sending anything.
+                let comm = boot.connect::<u64>().expect("mesh connects");
+                drop(comm);
+                std::process::exit(7);
+            }
+            child_main::<u64, _>(&boot, |c| {
+                let v = c.recv(1, 0)?; // never arrives
+                Ok(v.to_le_bytes().to_vec())
+            })
+        }
+        "stall" => {
+            if boot.rank == 1 {
+                let _comm = boot.connect::<u64>().expect("mesh connects");
+                std::thread::sleep(Duration::from_secs(600));
+                std::process::exit(0);
+            }
+            child_main::<u64, _>(&boot, |c| {
+                let v = c.recv(1, 0)?; // peer is asleep: must time out
+                Ok(v.to_le_bytes().to_vec())
+            })
+        }
+        other => panic!("unknown rank program {other:?}"),
+    };
+    std::process::exit(code);
+}
+
+fn as_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8-byte output"))
+}
+
+#[test]
+fn ring_passes_left_neighbor_ids() {
+    for size in [1usize, 2, 4] {
+        let out = world(size, "ring").launch().expect("ring world");
+        for (rank, bytes) in out.outputs.iter().enumerate() {
+            let left = (rank + size - 1) % size;
+            assert_eq!(as_u64(bytes), left as u64, "size {size} rank {rank}");
+        }
+        let agg = out.total_stats();
+        let expected = if size == 1 { 0 } else { size };
+        assert_eq!(agg.msgs_sent, expected, "self-sends are never billed");
+        assert_eq!(agg.msgs_recv, expected);
+        assert_eq!(agg.bytes_sent, expected * 8);
+        assert_eq!(agg.frames_sent, expected, "one frame per small message");
+    }
+}
+
+#[test]
+fn chunked_payloads_survive_the_wire() {
+    let out = world(3, "chunk_echo")
+        .chunk(512)
+        .launch()
+        .expect("chunk echo world");
+    assert_eq!(as_u64(&out.outputs[0]), 200_000);
+    assert_eq!(as_u64(&out.outputs[1]), 100_000);
+    assert_eq!(as_u64(&out.outputs[2]), 100_000);
+    // 100_000-byte payloads over 512-byte chunks: ceil = 196 frames per
+    // message, 4 big messages + nothing else.
+    let agg = out.total_stats();
+    assert_eq!(agg.msgs_sent, 4);
+    assert_eq!(agg.frames_sent, 4 * 100_000usize.div_ceil(512));
+    assert_eq!(agg.bytes_sent, 4 * 100_000);
+    assert_eq!(agg.bytes_recv, agg.bytes_sent);
+}
+
+#[test]
+fn barriers_synchronize_processes() {
+    let out = world(3, "barrier_storm").launch().expect("barrier world");
+    assert!(out.outputs.iter().all(|b| as_u64(b) == 25));
+    assert_eq!(out.total_stats().barriers, 25);
+    // Barrier control traffic is transport-internal: not billed.
+    assert_eq!(out.total_stats().msgs_sent, 0);
+}
+
+#[test]
+fn selective_receive_and_self_sends_match_thread_world() {
+    let out = world(2, "tag_order").launch().expect("tag order world");
+    assert_eq!(as_u64(&out.outputs[0]), 42);
+    assert_eq!(as_u64(&out.outputs[1]), 111_222);
+    // The self-send on rank 0 is free.
+    assert_eq!(out.stats[0].msgs_sent, 2);
+    assert_eq!(out.stats[0].bytes_sent, 16);
+}
+
+#[test]
+fn early_exit_rank_fails_the_world_within_deadline() {
+    let started = Instant::now();
+    let err = world(3, "exit_early")
+        .timeout(Duration::from_secs(2))
+        .run_timeout(Duration::from_secs(30))
+        .launch()
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, CommError::RankFailed { .. }),
+        "expected RankFailed, got {err}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(25),
+        "failure must surface within the deadline, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn stalled_rank_times_out_not_hangs() {
+    let started = Instant::now();
+    let err = world(2, "stall")
+        .timeout(Duration::from_millis(800))
+        .run_timeout(Duration::from_secs(30))
+        .launch()
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    match &err {
+        CommError::RankFailed { rank, detail } => {
+            assert_eq!(*rank, 0, "the waiting rank reports the timeout");
+            assert!(detail.contains("timed out"), "detail: {detail}");
+        }
+        other => panic!("expected RankFailed with timeout detail, got {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(25),
+        "stall must resolve within the run budget, took {elapsed:?}"
+    );
+}
+
+/// Suppressed when the unused harness would warn: `ProcessComm` is named
+/// in the signature only to prove the public API supports generic rank
+/// code (the conformance suite relies on this compiling).
+#[allow(dead_code)]
+fn generic_rank_code_compiles<P: stkde_comm::WirePayload>(
+    c: &mut ProcessComm<P>,
+) -> (usize, usize) {
+    (WorldComm::<P>::rank(c), WorldComm::<P>::size(c))
+}

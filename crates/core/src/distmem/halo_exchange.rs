@@ -8,23 +8,47 @@
 //! own them and added in. Overhead is halo memory (`2·Ht·Gx·Gy` voxels
 //! per rank) and voxel-sized messages, the distributed echo of DR's
 //! replica-reduction cost.
+//!
+//! # Overlapping exchange with compute
+//!
+//! Only *boundary* points — those whose cylinder's T-extent leaves the
+//! owned slab — contribute to ghost layers. In
+//! [`HaloMode::Overlapped`] a rank therefore rasterizes its boundary
+//! points first, posts the ghost-layer sends immediately (sends never
+//! block on either backend: the in-process world uses unbounded channels,
+//! the process backend per-peer writer threads), and only then computes
+//! the interior bulk. The expensive transfers are in flight — being
+//! serialized, written, read, and decoded by peer reader threads —
+//! while both sides are busy computing. [`HaloMode::Phased`] keeps the
+//! original compute-everything-then-exchange schedule as the measurable
+//! baseline.
+//!
+//! Received halos are buffered and applied in sender-rank order, so the
+//! float summation order — and therefore the result, bit for bit — is
+//! independent of arrival order, thread count, and backend.
 
 use super::apply::apply_point_slab;
 use super::slab::{owner_of, owners_of_layers, slab_bounds, slab_range};
-use super::{gather_slabs, DistMsg, RankOutput, TAG_HALO, TAG_POINTS};
+use super::{gather_slabs, DistMsg, HaloMode, RankOutput, TAG_HALO, TAG_POINTS};
 use crate::kernel_apply::Scratch;
 use crate::problem::Problem;
-use stkde_comm::Comm;
+use stkde_comm::{CommError, WorldComm};
 use stkde_data::Point;
 use stkde_grid::{Grid3, GridDims, Scalar, VoxelRange};
 use stkde_kernels::SpaceTimeKernel;
 
-pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
-    comm: &mut Comm<DistMsg<S>>,
+pub(super) fn rank_main<S, K, C>(
+    comm: &mut C,
     problem: &Problem,
     kernel: &K,
     local: Vec<Point>,
-) -> RankOutput<S> {
+    mode: HaloMode,
+) -> Result<RankOutput<S>, CommError>
+where
+    S: Scalar,
+    K: SpaceTimeKernel,
+    C: WorldComm<DistMsg<S>>,
+{
     let dims = problem.domain.dims();
     let size = comm.size();
     let rank = comm.rank();
@@ -41,13 +65,17 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
         outgoing[owner_of(dims.gt, size, tv)].push(*p);
     }
     for (to, batch) in outgoing.into_iter().enumerate() {
-        comm.send(to, TAG_POINTS, DistMsg::Points(batch));
+        comm.send(to, TAG_POINTS, DistMsg::Points(batch))?;
     }
     let mut local = Vec::new();
     for from in 0..size {
-        match comm.recv(from, TAG_POINTS) {
+        match comm.recv(from, TAG_POINTS)? {
             DistMsg::Points(batch) => local.extend(batch),
-            DistMsg::Layers { .. } => unreachable!("layers during home routing"),
+            DistMsg::Layers { .. } => {
+                return Err(CommError::Protocol(format!(
+                    "unexpected Layers from rank {from} during home routing"
+                )));
+            }
         }
     }
 
@@ -62,33 +90,62 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
         ..VoxelRange::full(dims)
     };
 
-    // Phase 1 — full (unclipped within the extended slab) cylinders of the
-    // rank's own points. Work-efficient: every invariant computed once.
+    // A point is a *boundary* point iff its cylinder's T-extent
+    // [tv-Ht, tv+Ht] leaves the owned slab — only those touch ghost
+    // layers, so once they are rasterized the halos are final.
+    let touches_halo = |p: &Point| {
+        let (_, _, tv) = problem.domain.voxel_of(p.as_array());
+        tv < slab.t0 + ht || tv + ht >= slab.t1
+    };
+
     let mut scratch = Scratch::default();
-    let start = std::time::Instant::now();
-    for p in &local {
-        apply_point_slab(&mut ext, ext_t0, problem, kernel, p, clip, &mut scratch);
-    }
-    let compute_secs = start.elapsed().as_secs_f64();
-
-    // Phase 2 — ship each ghost region to its owner.
-    for r in owners_of_layers(dims.gt, size, ext_t0, ext_t1) {
-        if r == rank {
-            continue;
+    let mut compute_secs = 0.0;
+    let scatter = |ext: &mut Grid3<S>, pts: &[Point], scratch: &mut Scratch<S>| {
+        let start = std::time::Instant::now();
+        for p in pts {
+            apply_point_slab(ext, ext_t0, problem, kernel, p, clip, scratch);
         }
-        let (rt0, rt1) = slab_bounds(dims.gt, size, r);
-        let lo = ext_t0.max(rt0);
-        let hi = ext_t1.min(rt1);
-        if lo >= hi {
-            continue;
+        start.elapsed().as_secs_f64()
+    };
+
+    // The ghost regions this rank computed for other ranks' slabs.
+    let send_halos = |ext: &Grid3<S>, comm: &mut C| -> Result<(), CommError> {
+        for r in owners_of_layers(dims.gt, size, ext_t0, ext_t1) {
+            if r == rank {
+                continue;
+            }
+            let (rt0, rt1) = slab_bounds(dims.gt, size, r);
+            let lo = ext_t0.max(rt0);
+            let hi = ext_t1.min(rt1);
+            if lo >= hi {
+                continue;
+            }
+            let data = ext.as_slice()[(lo - ext_t0) * layer..(hi - ext_t0) * layer].to_vec();
+            comm.send(r, TAG_HALO, DistMsg::Layers { t0: lo, data })?;
         }
-        let data = ext.as_slice()[(lo - ext_t0) * layer..(hi - ext_t0) * layer].to_vec();
-        comm.send(r, TAG_HALO, DistMsg::Layers { t0: lo, data });
+        Ok(())
+    };
+
+    match mode {
+        HaloMode::Overlapped => {
+            // Boundary first: the instant those cylinders land, every
+            // ghost layer is final and its send can be posted …
+            let (boundary, interior): (Vec<Point>, Vec<Point>) =
+                local.iter().partition(|p| touches_halo(p));
+            compute_secs += scatter(&mut ext, &boundary, &mut scratch);
+            send_halos(&ext, comm)?;
+            // … and the interior bulk computes while the wire works.
+            compute_secs += scatter(&mut ext, &interior, &mut scratch);
+        }
+        HaloMode::Phased => {
+            compute_secs += scatter(&mut ext, &local, &mut scratch);
+            send_halos(&ext, comm)?;
+        }
     }
 
-    // Phase 3 — receive every ghost region other ranks computed for us.
-    // The sender set is deterministic: rank r' sends iff its extended slab
-    // overlaps our slab (mirror of the send loop above).
+    // Receive every ghost region other ranks computed for us. The sender
+    // set is deterministic: rank r' sends iff its extended slab overlaps
+    // our slab (mirror of the send loop above).
     let expected = (0..size)
         .filter(|&r| r != rank)
         .filter(|&r| {
@@ -98,28 +155,38 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
             e0.max(slab.t0) < e1.min(slab.t1)
         })
         .count();
+    let mut halos: Vec<(usize, usize, Vec<S>)> = Vec::with_capacity(expected);
     for _ in 0..expected {
-        match comm.recv_any(TAG_HALO) {
-            (_, DistMsg::Layers { t0, data }) => {
+        match comm.recv_any(TAG_HALO)? {
+            (from, DistMsg::Layers { t0, data }) => {
                 debug_assert!(t0 >= slab.t0 && t0 * layer + data.len() <= slab.t1 * layer);
-                let dst = &mut ext.as_mut_slice()[(t0 - ext_t0) * layer..][..data.len()];
-                for (d, &s) in dst.iter_mut().zip(&data) {
-                    *d += s;
-                }
+                halos.push((from, t0, data));
             }
             (from, DistMsg::Points(_)) => {
-                unreachable!("unexpected Points from rank {from} during halo exchange")
+                return Err(CommError::Protocol(format!(
+                    "unexpected Points from rank {from} during halo exchange"
+                )));
             }
         }
     }
+    // Apply in sender order, not arrival order: overlapping ghost regions
+    // then sum in a fixed order, keeping the result bit-reproducible
+    // across backends, thread counts, and message races.
+    halos.sort_unstable_by_key(|&(from, t0, _)| (from, t0));
+    for (_, t0, data) in &halos {
+        let dst = &mut ext.as_mut_slice()[(t0 - ext_t0) * layer..][..data.len()];
+        for (d, &s) in dst.iter_mut().zip(data) {
+            *d += s;
+        }
+    }
 
-    // Phase 4 — extract the owned slab and assemble on rank 0.
+    // Extract the owned slab and assemble on rank 0.
     let own = ext.as_slice()[(slab.t0 - ext_t0) * layer..(slab.t1 - ext_t0) * layer].to_vec();
     let own = Grid3::from_vec(GridDims::new(dims.gx, dims.gy, slab.t1 - slab.t0), own);
-    let grid = gather_slabs(comm, problem, slab.t0, own);
-    RankOutput {
+    let grid = gather_slabs(comm, problem, slab.t0, own)?;
+    Ok(RankOutput {
         grid,
         compute_secs,
         processed: local.len(),
-    }
+    })
 }

@@ -13,17 +13,22 @@ use super::slab::{owners_of_layers, slab_range};
 use super::{gather_slabs, DistMsg, RankOutput, TAG_POINTS};
 use crate::kernel_apply::Scratch;
 use crate::problem::Problem;
-use stkde_comm::Comm;
+use stkde_comm::{CommError, WorldComm};
 use stkde_data::Point;
 use stkde_grid::{Grid3, GridDims, Scalar};
 use stkde_kernels::SpaceTimeKernel;
 
-pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
-    comm: &mut Comm<DistMsg<S>>,
+pub(super) fn rank_main<S, K, C>(
+    comm: &mut C,
     problem: &Problem,
     kernel: &K,
     local: Vec<Point>,
-) -> RankOutput<S> {
+) -> Result<RankOutput<S>, CommError>
+where
+    S: Scalar,
+    K: SpaceTimeKernel,
+    C: WorldComm<DistMsg<S>>,
+{
     let dims = problem.domain.dims();
     let size = comm.size();
     let ht = problem.vbw.ht;
@@ -40,13 +45,17 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
         }
     }
     for (to, batch) in outgoing.into_iter().enumerate() {
-        comm.send(to, TAG_POINTS, DistMsg::Points(batch));
+        comm.send(to, TAG_POINTS, DistMsg::Points(batch))?;
     }
     let mut mine = Vec::new();
     for from in 0..size {
-        match comm.recv(from, TAG_POINTS) {
+        match comm.recv(from, TAG_POINTS)? {
             DistMsg::Points(batch) => mine.extend(batch),
-            DistMsg::Layers { .. } => unreachable!("layers during point routing"),
+            DistMsg::Layers { .. } => {
+                return Err(CommError::Protocol(format!(
+                    "unexpected Layers from rank {from} during point routing"
+                )));
+            }
         }
     }
 
@@ -61,10 +70,10 @@ pub(super) fn rank_main<S: Scalar, K: SpaceTimeKernel>(
     let compute_secs = start.elapsed().as_secs_f64();
 
     // Phase 3 — assemble on rank 0.
-    let grid = gather_slabs(comm, problem, slab.t0, grid);
-    RankOutput {
+    let grid = gather_slabs(comm, problem, slab.t0, grid)?;
+    Ok(RankOutput {
         grid,
         compute_secs,
         processed: mine.len(),
-    }
+    })
 }

@@ -22,6 +22,9 @@ pub enum StkdeError {
     },
     /// Invalid configuration (e.g. zero threads).
     InvalidConfig(String),
+    /// A distributed run's communication failed (dead rank, timeout,
+    /// malformed wire traffic — see `stkde_comm::CommError`).
+    Comm(String),
 }
 
 impl fmt::Display for StkdeError {
@@ -38,6 +41,7 @@ impl fmt::Display for StkdeError {
                 *limit as f64 / (1024.0 * 1024.0)
             ),
             StkdeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StkdeError::Comm(msg) => write!(f, "communication failure: {msg}"),
         }
     }
 }

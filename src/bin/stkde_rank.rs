@@ -1,0 +1,24 @@
+//! The rank executable `ProcessWorld` spawns — one process per rank of a
+//! distributed STKDE run. Not meant to be invoked by hand: it reads its
+//! identity, transport, and program from the environment (see
+//! `stkde_comm::process` for the protocol and `stkde::rank` for the
+//! program registry).
+
+fn main() -> std::process::ExitCode {
+    #[cfg(unix)]
+    match stkde::rank::dispatch() {
+        Some(code) => std::process::ExitCode::from(code.clamp(0, 255) as u8),
+        None => {
+            eprintln!(
+                "stkde-rank: no rank environment found; this binary is spawned by \
+                 ProcessWorld (see stkde_comm::process), not run directly"
+            );
+            std::process::ExitCode::from(2)
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("stkde-rank: the multi-process backend requires Unix-domain sockets");
+        std::process::ExitCode::from(2)
+    }
+}

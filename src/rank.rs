@@ -1,0 +1,151 @@
+//! Rank-process entry points for the multi-process distributed backend.
+//!
+//! The `stkde-rank` binary is what a
+//! [`ProcessWorld`](stkde_comm::process::ProcessWorld) spawns, once per
+//! rank. It carries no CLI surface of its own: everything arrives
+//! through the environment — the transport variables documented in
+//! [`stkde_comm::process`] plus [`PROGRAM_ENV`] naming one of the
+//! registered *rank programs* below. Parent-side helpers for launching
+//! distributed STKDE runs against that binary live here too, so tests
+//! and tools share one driver.
+//!
+//! # Rank programs
+//!
+//! | name | behaviour |
+//! |---|---|
+//! | `distmem` | the real payload: one rank of a [`DistSpec`] STKDE run |
+//! | `ring` | smoke test: pass rank ids around a ring |
+//! | `exit_early` | rank [`FAIL_RANK_ENV`] dies post-mesh; others must error |
+//! | `stall` | rank [`FAIL_RANK_ENV`] sleeps forever; others must time out |
+
+#![cfg(unix)]
+
+use std::path::Path;
+use std::time::Duration;
+use stkde_comm::process::child_main;
+use stkde_comm::{CommError, ProcessWorld, RankBoot, WorldComm};
+use stkde_core::distmem::spec::DistSpec;
+use stkde_core::distmem::{DistMsg, DistResult};
+use stkde_grid::Grid3;
+
+/// Env var selecting the rank program to run.
+pub const PROGRAM_ENV: &str = "STKDE_RANK_PROGRAM";
+
+/// Env var naming the rank that misbehaves in the failure-injection
+/// programs (`exit_early`, `stall`).
+pub const FAIL_RANK_ENV: &str = "STKDE_RANK_FAIL_RANK";
+
+/// Rank-process entry: if this process was spawned as a rank, run the
+/// requested program and return its exit code; otherwise `None` (the
+/// caller is a normal invocation).
+pub fn dispatch() -> Option<i32> {
+    let boot = match RankBoot::from_env() {
+        Ok(Some(boot)) => boot,
+        Ok(None) => return None,
+        Err(e) => {
+            eprintln!("stkde-rank: bad rank environment: {e}");
+            return Some(1);
+        }
+    };
+    let program = match std::env::var(PROGRAM_ENV) {
+        Ok(p) => p,
+        Err(_) => {
+            eprintln!("stkde-rank: {PROGRAM_ENV} not set");
+            return Some(1);
+        }
+    };
+    let code = match program.as_str() {
+        "distmem" => child_main::<DistMsg<f64>, _>(&boot, |comm| {
+            let spec = DistSpec::from_env().map_err(CommError::Protocol)?;
+            spec.run_rank(comm)
+        }),
+        "ring" => child_main::<u64, _>(&boot, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            comm.send(right, 0, comm.rank() as u64)?;
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let got = comm.recv(left, 0)?;
+            Ok(got.to_le_bytes().to_vec())
+        }),
+        "exit_early" => {
+            if boot.rank == fail_rank() {
+                // Connect so the mesh completes, then vanish without a
+                // word — the worst-behaved peer short of corruption.
+                let comm = boot.connect::<u64>().expect("mesh connects");
+                drop(comm);
+                std::process::exit(7);
+            }
+            child_main::<u64, _>(&boot, |comm| {
+                let v = comm.recv(fail_rank(), 0)?; // never arrives
+                Ok(v.to_le_bytes().to_vec())
+            })
+        }
+        "stall" => {
+            if boot.rank == fail_rank() {
+                let _comm = boot.connect::<u64>().expect("mesh connects");
+                std::thread::sleep(Duration::from_secs(3600));
+                std::process::exit(0);
+            }
+            child_main::<u64, _>(&boot, |comm| {
+                let v = comm.recv(fail_rank(), 0)?; // peer is asleep
+                Ok(v.to_le_bytes().to_vec())
+            })
+        }
+        other => {
+            eprintln!("stkde-rank: unknown rank program {other:?}");
+            1
+        }
+    };
+    Some(code)
+}
+
+fn fail_rank() -> usize {
+    std::env::var(FAIL_RANK_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Parent-side driver: run a [`DistSpec`] on the multi-process backend
+/// (spawning `exe`, which must be the `stkde-rank` binary or equivalent)
+/// and assemble the same [`DistResult`] the in-process
+/// [`distmem::run`](stkde_core::distmem::run) returns.
+///
+/// # Errors
+/// Any launch or communication failure, or a malformed rank report.
+pub fn run_distmem_process(
+    exe: &Path,
+    spec: &DistSpec,
+    ranks: usize,
+    configure: impl FnOnce(ProcessWorld) -> ProcessWorld,
+) -> Result<DistResult<f64>, CommError> {
+    let world = configure(
+        ProcessWorld::new(ranks, exe)
+            .env(PROGRAM_ENV, "distmem")
+            .env(stkde_core::distmem::spec::SPEC_ENV, spec.to_env_value()),
+    );
+    let out = world.launch()?;
+    let mut grid: Option<Grid3<f64>> = None;
+    let mut compute_secs = Vec::with_capacity(ranks);
+    let mut processed = Vec::with_capacity(ranks);
+    for (rank, bytes) in out.outputs.iter().enumerate() {
+        let report = spec
+            .decode_report(bytes)
+            .map_err(|e| CommError::Protocol(format!("rank {rank} report: {e}")))?;
+        if report.grid.is_some() {
+            grid = Some(
+                spec.grid_from_report(&report)
+                    .map_err(CommError::Protocol)?,
+            );
+        }
+        compute_secs.push(report.compute_secs);
+        processed.push(report.processed);
+    }
+    Ok(DistResult {
+        grid: grid.ok_or_else(|| CommError::Protocol("no rank reported a grid".to_string()))?,
+        ranks,
+        strategy: spec.strategy,
+        compute_secs,
+        processed,
+        stats: out.stats,
+    })
+}

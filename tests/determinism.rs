@@ -72,6 +72,88 @@ fn parallel_stress_stays_within_tolerance() {
     }
 }
 
+/// Distributed determinism: for a fixed seed and rank count, the density
+/// must be bit-identical across worker thread counts, across repeated
+/// racy executions, and across the thread-backed and process-backed
+/// worlds. Halo application is ordered by sender rank precisely so this
+/// holds — arrival races must never reach the float summation order.
+#[cfg(unix)]
+mod distmem_process {
+    use std::path::Path;
+    use std::time::Duration;
+    use stkde::core::distmem::spec::{DistSpec, KernelChoice};
+    use stkde::core::distmem::{self, DistStrategy, HaloMode};
+    use stkde::rank::run_distmem_process;
+    use stkde_kernels::Epanechnikov;
+
+    const RANK_EXE: &str = env!("CARGO_BIN_EXE_stkde-rank");
+
+    fn spec() -> DistSpec {
+        DistSpec {
+            gx: 18,
+            gy: 16,
+            gt: 16,
+            hs: 2.5,
+            ht: 2.0,
+            n: 50,
+            seed: 77,
+            kernel: KernelChoice::Epanechnikov,
+            strategy: DistStrategy::HaloExchange,
+            mode: HaloMode::Overlapped,
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts_and_backends() {
+        let spec = spec();
+        for ranks in [1usize, 2, 4] {
+            let simulated = distmem::run::<f64, _>(
+                &spec.problem(),
+                &Epanechnikov,
+                &spec.points(),
+                ranks,
+                spec.strategy,
+            )
+            .unwrap();
+            for threads in ["1", "2", "8"] {
+                let r = run_distmem_process(Path::new(RANK_EXE), &spec, ranks, |w| {
+                    w.env("RAYON_NUM_THREADS", threads)
+                        .timeout(Duration::from_secs(20))
+                        .run_timeout(Duration::from_secs(90))
+                })
+                .unwrap();
+                assert_eq!(
+                    r.grid.as_slice(),
+                    simulated.grid.as_slice(),
+                    "ranks={ranks} threads={threads}: not bit-identical to the thread world"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_racy_executions_are_bit_identical() {
+        // recv_any arrival order differs run to run; the result must not.
+        let spec = DistSpec {
+            strategy: DistStrategy::PointExchange,
+            ..spec()
+        };
+        let runs: Vec<Vec<f64>> = (0..3)
+            .map(|_| {
+                run_distmem_process(Path::new(RANK_EXE), &spec, 4, |w| {
+                    w.timeout(Duration::from_secs(20))
+                        .run_timeout(Duration::from_secs(90))
+                })
+                .unwrap()
+                .grid
+                .into_vec()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+}
+
 #[test]
 fn dr_reduction_order_is_deterministic() {
     // DR reduces replicas in index order: repeated runs with the same

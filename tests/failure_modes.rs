@@ -1,6 +1,8 @@
 //! Failure injection and resource-limit behaviour: the paper's
 //! out-of-memory cells (Figures 8 and 14) must surface as typed errors,
-//! and bad configurations must be rejected without panics.
+//! bad configurations must be rejected without panics, and — for the
+//! multi-process backend — a rank that dies or stalls must fail the
+//! world with a typed error within a bounded deadline, never hang CI.
 
 use stkde::prelude::*;
 use stkde_data::synth;
@@ -152,4 +154,102 @@ fn memory_limit_large_enough_succeeds() {
         .memory_limit(4 * grid_bytes)
         .compute::<f32>(&points);
     assert!(r.is_ok());
+}
+
+/// Distributed failure modes: a rank process that exits early or stalls
+/// must surface a typed error on the surviving ranks and at the
+/// launcher within a bounded deadline — no hangs in CI.
+#[cfg(unix)]
+mod process_ranks {
+    use std::time::{Duration, Instant};
+    use stkde::comm::CommError;
+    use stkde::comm::ProcessWorld;
+    use stkde::rank::{FAIL_RANK_ENV, PROGRAM_ENV};
+
+    const RANK_EXE: &str = env!("CARGO_BIN_EXE_stkde-rank");
+    /// Upper bound on how long any injected failure may take to surface:
+    /// well under CI's 10-minute job timeout, well over scheduler noise.
+    const SURFACING_BOUND: Duration = Duration::from_secs(20);
+
+    fn failing_world(program: &str, size: usize, fail_rank: usize) -> ProcessWorld {
+        ProcessWorld::new(size, RANK_EXE)
+            .env(PROGRAM_ENV, program)
+            .env(FAIL_RANK_ENV, fail_rank.to_string())
+            .timeout(Duration::from_secs(2))
+            .run_timeout(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn rank_exiting_early_fails_the_world() {
+        for (size, fail_rank) in [(2, 1), (4, 2)] {
+            let started = Instant::now();
+            let err = failing_world("exit_early", size, fail_rank)
+                .launch()
+                .unwrap_err();
+            let elapsed = started.elapsed();
+            assert!(
+                matches!(err, CommError::RankFailed { .. }),
+                "size {size}: expected RankFailed, got {err}"
+            );
+            assert!(
+                elapsed < SURFACING_BOUND,
+                "size {size}: failure took {elapsed:?} to surface"
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_rank_times_out_with_diagnosis() {
+        for (size, fail_rank) in [(2, 1), (4, 0)] {
+            let started = Instant::now();
+            let err = failing_world("stall", size, fail_rank)
+                .launch()
+                .unwrap_err();
+            let elapsed = started.elapsed();
+            match &err {
+                CommError::RankFailed { detail, .. } => {
+                    assert!(
+                        detail.contains("timed out"),
+                        "size {size}: diagnosis should name the timeout: {detail}"
+                    );
+                }
+                other => panic!("size {size}: expected RankFailed, got {other}"),
+            }
+            assert!(
+                elapsed < SURFACING_BOUND,
+                "size {size}: stall took {elapsed:?} to surface"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_rank_program_is_rejected() {
+        let err = failing_world("no_such_program", 2, 0).launch().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CommError::RankFailed { .. } | CommError::Timeout { .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_spec_fails_distmem_ranks_cleanly() {
+        let started = Instant::now();
+        let err = ProcessWorld::new(2, RANK_EXE)
+            .env(PROGRAM_ENV, "distmem")
+            .env(stkde::core::distmem::spec::SPEC_ENV, "g=oops")
+            .timeout(Duration::from_secs(2))
+            .run_timeout(Duration::from_secs(60))
+            .launch()
+            .unwrap_err();
+        match &err {
+            CommError::RankFailed { detail, .. } => {
+                assert!(detail.contains("grid"), "diagnosis: {detail}");
+            }
+            other => panic!("expected RankFailed, got {other}"),
+        }
+        assert!(started.elapsed() < SURFACING_BOUND);
+    }
 }
