@@ -1,0 +1,79 @@
+//! `stkde-lint` — audit the workspace source against the rule catalog.
+//!
+//! ```text
+//! stkde-lint [ROOT] [--allowlist FILE] [--list-rules]
+//! ```
+//!
+//! `ROOT` defaults to the current directory (CI runs it from the
+//! workspace root). Exit status: 0 clean, 1 violations or stale
+//! allowlist entries, 2 usage/configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in stkde_analyze::RULES {
+                    println!("{}  {}", rule.id, rule.title);
+                    println!("        fix: {}", rule.fix_hint);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("stkde-lint: --allowlist needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: stkde-lint [ROOT] [--allowlist FILE] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("stkde-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "stkde-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let entries = match stkde_analyze::allowlist::load(
+        &allowlist_path.unwrap_or_else(|| root.join("stkde-lint.allow")),
+    ) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("stkde-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match stkde_analyze::lint_tree(&root, &entries) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("stkde-lint: scanning {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! A loom-style deterministic scheduler for model-checking the
+//! workspace's hand-rolled concurrency.
+//!
+//! # Model
+//!
+//! A *scenario* is a set of thread bodies plus a post-run check. The
+//! bodies run on real OS threads, but every shared-memory access is
+//! bracketed by a *yield point* (either an explicit [`ModelCtx::step`]
+//! call, or — for the rayon shim's real deque/sleep-gate code — the
+//! `rayon::model` instrumentation seam routed into [`ModelCtx::step`]).
+//! The scheduler enforces that **exactly one thread runs at a time** and
+//! that it runs only from one yield point to the next, so a schedule
+//! (the sequence of "which thread goes next" choices) fully determines
+//! the execution.
+//!
+//! Two exploration modes:
+//!
+//! * [`Explorer::exhaustive`] — depth-first enumeration of *every*
+//!   schedule, by replaying the scenario with a growing choice prefix
+//!   and backtracking. Because execution is serialized, this explores
+//!   all sequentially-consistent interleavings of the instrumented
+//!   accesses. (It deliberately does not model weaker-than-SC
+//!   reorderings — that is what the best-effort Miri/TSan CI jobs and
+//!   the fence comments in `deque.rs` are for. What it *does* catch is
+//!   the whole class of lost/duplicated-update and lost-wakeup logic
+//!   races, at every possible preemption placement.)
+//! * [`Explorer::random`] — seeded pseudo-random schedules for
+//!   scenarios whose full interleaving space is too large. The same
+//!   seed always yields the same schedule sequence, so a failure found
+//!   in CI reproduces locally and can be pinned as a regression test
+//!   with [`Explorer::replay`].
+//!
+//! On an invariant failure (a panic in a body or in the check), the
+//! harness re-raises the panic with the offending schedule attached, so
+//! the exact interleaving can be replayed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What a thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Parked at a yield point, waiting to be granted a step.
+    Blocked,
+    /// Granted; executing code between two yield points.
+    Running,
+    Done,
+}
+
+struct SchedState {
+    phase: Vec<Phase>,
+    /// Thread granted the next step (consumed by that thread).
+    granted: Option<usize>,
+    /// Global step counter; doubles as a logical clock for scenarios.
+    steps: usize,
+    /// First panic payload message captured from a body.
+    failed: Option<String>,
+}
+
+struct SchedShared {
+    m: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// Per-thread handle passed to scenario bodies.
+#[derive(Clone)]
+pub struct ModelCtx {
+    shared: Arc<SchedShared>,
+    tid: usize,
+    clock: Arc<AtomicUsize>,
+}
+
+impl ModelCtx {
+    /// Yield to the scheduler; returns when this thread is granted its
+    /// next step. `label` names the shared access about to happen (used
+    /// only for debugging; scheduling is label-agnostic).
+    pub fn step(&self, _label: &str) {
+        let mut st = self.shared.m.lock().expect("model scheduler poisoned");
+        st.phase[self.tid] = Phase::Blocked;
+        self.shared.cv.notify_all();
+        loop {
+            if st.granted == Some(self.tid) {
+                st.granted = None;
+                st.phase[self.tid] = Phase::Running;
+                return;
+            }
+            // Abandon ship once some body has failed: the explorer only
+            // wants every thread out of the way so it can report.
+            if st.failed.is_some() {
+                st.granted = None;
+                st.phase[self.tid] = Phase::Running;
+                return;
+            }
+            let (guard, timed_out) = self
+                .shared
+                .cv
+                .wait_timeout(st, Duration::from_secs(30))
+                .expect("model scheduler poisoned");
+            st = guard;
+            assert!(
+                !timed_out.timed_out(),
+                "model thread {} starved for 30s — scheduler bug or a body \
+                 blocked outside a yield point",
+                self.tid
+            );
+        }
+    }
+
+    /// The scheduler's logical clock: total steps granted so far.
+    /// Scenarios use it to order events ("the publish completed before
+    /// the sleep decision") without `Instant`.
+    pub fn now(&self) -> usize {
+        self.clock.load(Ordering::SeqCst)
+    }
+}
+
+/// One scenario instantiation: fresh thread bodies plus a post-run check
+/// (which runs after every body has finished, with exclusive access to
+/// whatever state the bodies shared).
+pub struct Replay {
+    pub threads: Vec<ThreadBody>,
+    pub check: Box<dyn FnOnce() + 'static>,
+}
+
+/// One model thread: runs to completion under the cooperative scheduler,
+/// yielding at every instrumented point via the [`ModelCtx`] it receives.
+pub type ThreadBody = Box<dyn FnOnce(&ModelCtx) + Send + 'static>;
+
+/// Statistics from an exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Schedules fully executed.
+    pub schedules: usize,
+    /// Length of the longest schedule (in scheduling decisions).
+    pub max_decisions: usize,
+    /// True when exhaustive exploration finished the whole space (never
+    /// set by `random`).
+    pub complete: bool,
+}
+
+/// Scheduling policy for one replay.
+enum Policy<'a> {
+    /// Follow `prefix`, then always pick the lowest-numbered enabled
+    /// thread, recording the choices made.
+    Dfs {
+        prefix: &'a mut Vec<usize>,
+        sizes: &'a mut Vec<usize>,
+    },
+    /// Seeded xorshift choices.
+    Random { state: u64 },
+    /// Fixed schedule (regression replay); past its end, lowest-first.
+    Fixed {
+        schedule: &'a [usize],
+        cursor: usize,
+    },
+}
+
+impl Policy<'_> {
+    /// Pick an index into `enabled` (which has ≥ 2 entries).
+    fn choose(&mut self, decision: usize, n_enabled: usize) -> usize {
+        match self {
+            Policy::Dfs { prefix, sizes } => {
+                if sizes.len() <= decision {
+                    sizes.resize(decision + 1, 0);
+                }
+                sizes[decision] = n_enabled;
+                if decision < prefix.len() {
+                    // A shorter-than-recorded enabled set can occur when
+                    // an earlier divergence changed control flow; clamp.
+                    prefix[decision].min(n_enabled - 1)
+                } else {
+                    prefix.push(0);
+                    0
+                }
+            }
+            Policy::Random { state } => {
+                // xorshift64 — deterministic for a given seed.
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                (x % n_enabled as u64) as usize
+            }
+            Policy::Fixed { schedule, cursor } => {
+                let c = schedule.get(*cursor).copied().unwrap_or(0);
+                *cursor += 1;
+                c.min(n_enabled - 1)
+            }
+        }
+    }
+}
+
+/// The model-checking driver. See the module docs for the two modes.
+pub struct Explorer {
+    /// Hard cap on schedules explored by `exhaustive` (guards CI time;
+    /// hitting it leaves `Stats::complete == false`).
+    pub max_schedules: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_schedules: 200_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// Exhaustively explore every schedule of the scenario, re-raising
+    /// the first invariant failure with its schedule attached.
+    pub fn exhaustive(&self, mut make: impl FnMut() -> Replay) -> Stats {
+        let mut stats = Stats::default();
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let mut sizes: Vec<usize> = Vec::new();
+            let decisions = {
+                let policy = Policy::Dfs {
+                    prefix: &mut prefix,
+                    sizes: &mut sizes,
+                };
+                run_one(make(), policy, &prefix_snapshot_label(&stats))
+            };
+            stats.schedules += 1;
+            stats.max_decisions = stats.max_decisions.max(decisions);
+            if stats.schedules >= self.max_schedules {
+                return stats;
+            }
+            // Backtrack: bump the last choice that still has siblings.
+            let mut advanced = false;
+            while let Some(last) = prefix.pop() {
+                let k = prefix.len();
+                if last + 1 < sizes.get(k).copied().unwrap_or(0) {
+                    prefix.push(last + 1);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stats.complete = true;
+                return stats;
+            }
+        }
+    }
+
+    /// Run `iters` seeded-random schedules. Reproducible: the schedule
+    /// sequence is a pure function of `seed`.
+    pub fn random(&self, seed: u64, iters: usize, mut make: impl FnMut() -> Replay) -> Stats {
+        let mut stats = Stats::default();
+        for i in 0..iters {
+            // Distinct, deterministic stream per iteration (SplitMix-ish
+            // mixing so consecutive seeds do not correlate).
+            let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            s ^= s >> 30;
+            s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            s ^= s >> 27;
+            let decisions = run_one(
+                make(),
+                Policy::Random { state: s | 1 },
+                &format!("random(seed={seed}, iter={i})"),
+            );
+            stats.schedules += 1;
+            stats.max_decisions = stats.max_decisions.max(decisions);
+        }
+        stats
+    }
+
+    /// Replay one fixed schedule (as reported by a failure message) —
+    /// the regression-test entry point.
+    pub fn replay(&self, schedule: &[usize], make: impl FnOnce() -> Replay) {
+        run_one(
+            make(),
+            Policy::Fixed {
+                schedule,
+                cursor: 0,
+            },
+            &format!("replay({schedule:?})"),
+        );
+    }
+}
+
+fn prefix_snapshot_label(stats: &Stats) -> String {
+    format!("exhaustive(schedule #{})", stats.schedules)
+}
+
+/// Run one replay under `policy`; returns the number of scheduling
+/// decisions taken. Panics (with `label` and the schedule) if a body or
+/// the check fails.
+fn run_one(replay: Replay, mut policy: Policy<'_>, label: &str) -> usize {
+    let n = replay.threads.len();
+    let shared = Arc::new(SchedShared {
+        m: Mutex::new(SchedState {
+            phase: vec![Phase::Running; n],
+            granted: None,
+            steps: 0,
+            failed: None,
+        }),
+        cv: Condvar::new(),
+    });
+    let clock = Arc::new(AtomicUsize::new(0));
+
+    let mut handles = Vec::with_capacity(n);
+    for (tid, body) in replay.threads.into_iter().enumerate() {
+        let ctx = ModelCtx {
+            shared: Arc::clone(&shared),
+            tid,
+            clock: Arc::clone(&clock),
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("model-{tid}"))
+                .spawn(move || {
+                    // Park immediately: even the first instruction of a
+                    // body only runs once scheduled.
+                    ctx.step("spawn");
+                    let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                    let mut st = ctx.shared.m.lock().expect("model scheduler poisoned");
+                    if let Err(p) = result {
+                        if st.failed.is_none() {
+                            // `&*p`, not `&p`: a `&Box<dyn Any>` would
+                            // unsize to a dyn Any over the *Box*, and the
+                            // payload downcasts would always miss.
+                            st.failed = Some(panic_message(&*p));
+                        }
+                    }
+                    st.phase[tid] = Phase::Done;
+                    ctx.shared.cv.notify_all();
+                })
+                .expect("spawning a model thread"),
+        );
+    }
+
+    // The scheduler loop: wait for quiescence, pick, grant.
+    let mut decisions = 0usize;
+    let mut trace: Vec<usize> = Vec::new();
+    loop {
+        let mut st = shared.m.lock().expect("model scheduler poisoned");
+        loop {
+            let any_running = st.phase.contains(&Phase::Running);
+            if !any_running && st.granted.is_none() {
+                break;
+            }
+            if st.failed.is_some() {
+                break;
+            }
+            let (guard, timed_out) = shared
+                .cv
+                .wait_timeout(st, Duration::from_secs(30))
+                .expect("model scheduler poisoned");
+            st = guard;
+            assert!(
+                !timed_out.timed_out(),
+                "model scheduler starved for 30s under {label} (schedule so far: {trace:?})"
+            );
+        }
+        if st.failed.is_some() {
+            // Release every parked thread so they can run to completion.
+            shared.cv.notify_all();
+            let done = st.phase.iter().all(|p| *p == Phase::Done);
+            if done {
+                let msg = st.failed.clone().unwrap_or_default();
+                drop(st);
+                join_all(handles);
+                panic!("model invariant failed under {label}: {msg} (schedule: {trace:?})");
+            }
+            drop(st);
+            std::thread::yield_now();
+            continue;
+        }
+        let enabled: Vec<usize> = st
+            .phase
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Phase::Blocked)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            // All done.
+            break;
+        }
+        let pick = if enabled.len() == 1 {
+            // No branching — not a decision point.
+            enabled[0]
+        } else {
+            let c = policy.choose(decisions, enabled.len());
+            decisions += 1;
+            trace.push(c);
+            enabled[c]
+        };
+        st.granted = Some(pick);
+        st.steps += 1;
+        clock.store(st.steps, Ordering::SeqCst);
+        drop(st);
+        shared.cv.notify_all();
+    }
+    drop(shared);
+    join_all(handles);
+
+    // Bodies done and joined: the check has exclusive access.
+    if let Err(p) = catch_unwind(AssertUnwindSafe(replay.check)) {
+        panic!(
+            "model invariant failed under {label}: {} (schedule: {trace:?})",
+            panic_message(&*p)
+        );
+    }
+    decisions
+}
+
+fn join_all(handles: Vec<std::thread::JoinHandle<()>>) {
+    for h in handles {
+        // Body panics were already captured via catch_unwind; a join
+        // error here would mean the runner itself died, which the
+        // scheduler treats as a failed invariant anyway.
+        let _ = h.join();
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Two threads, three grants each (the implicit spawn yield plus two
+    /// explicit steps): the interleaving count must be the full
+    /// multinomial C(6,3) = 20.
+    #[test]
+    fn exhaustive_counts_all_interleavings() {
+        let stats = Explorer::default().exhaustive(|| Replay {
+            threads: (0..2)
+                .map(|_| {
+                    Box::new(move |ctx: &ModelCtx| {
+                        ctx.step("a");
+                        ctx.step("b");
+                    }) as Box<dyn FnOnce(&ModelCtx) + Send>
+                })
+                .collect(),
+            check: Box::new(|| {}),
+        });
+        assert!(stats.complete);
+        assert_eq!(stats.schedules, 20, "{stats:?}");
+    }
+
+    /// The classic non-atomic increment: exhaustive exploration must
+    /// find the lost-update interleaving.
+    #[test]
+    fn finds_lost_update() {
+        let found = catch_unwind(AssertUnwindSafe(|| {
+            Explorer::default().exhaustive(|| {
+                let cell = Arc::new(AtomicUsize::new(0));
+                let threads = (0..2)
+                    .map(|_| {
+                        let cell = Arc::clone(&cell);
+                        Box::new(move |ctx: &ModelCtx| {
+                            ctx.step("load");
+                            let v = cell.load(Ordering::SeqCst);
+                            ctx.step("store");
+                            cell.store(v + 1, Ordering::SeqCst);
+                        }) as Box<dyn FnOnce(&ModelCtx) + Send>
+                    })
+                    .collect();
+                let cell2 = Arc::clone(&cell);
+                Replay {
+                    threads,
+                    check: Box::new(move || {
+                        assert_eq!(cell2.load(Ordering::SeqCst), 2, "lost update");
+                    }),
+                }
+            });
+        }));
+        let msg = panic_message(&*found.expect_err("model must catch the race"));
+        assert!(msg.contains("lost update"), "{msg}");
+        assert!(
+            msg.contains("schedule:"),
+            "failure must carry its schedule: {msg}"
+        );
+    }
+
+    /// Same seed → same schedules; the recorded outcome sequence is a
+    /// pure function of the seed.
+    #[test]
+    fn random_mode_is_seed_reproducible() {
+        let run = |seed: u64| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            Explorer::default().random(seed, 20, || {
+                let log = Arc::clone(&log);
+                let order = Arc::new(Mutex::new(Vec::new()));
+                let threads = (0..3u8)
+                    .map(|t| {
+                        let order = Arc::clone(&order);
+                        Box::new(move |ctx: &ModelCtx| {
+                            ctx.step("a");
+                            order.lock().unwrap().push(t);
+                            ctx.step("b");
+                            order.lock().unwrap().push(t);
+                        }) as Box<dyn FnOnce(&ModelCtx) + Send>
+                    })
+                    .collect();
+                let order2 = Arc::clone(&order);
+                Replay {
+                    threads,
+                    check: Box::new(move || {
+                        log.lock().unwrap().push(order2.lock().unwrap().clone());
+                    }),
+                }
+            });
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    /// `replay` follows a pinned schedule deterministically.
+    #[test]
+    fn fixed_replay_is_deterministic() {
+        let run = |schedule: &[usize]| {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o2 = Arc::clone(&order);
+            Explorer::default().replay(schedule, move || {
+                let threads = (0..2u8)
+                    .map(|t| {
+                        let order = Arc::clone(&o2);
+                        Box::new(move |ctx: &ModelCtx| {
+                            ctx.step("a");
+                            order.lock().unwrap().push(t);
+                        }) as Box<dyn FnOnce(&ModelCtx) + Send>
+                    })
+                    .collect();
+                Replay {
+                    threads,
+                    check: Box::new(|| {}),
+                }
+            });
+            Arc::try_unwrap(order).unwrap().into_inner().unwrap()
+        };
+        assert_eq!(run(&[0]), vec![0, 1]);
+        assert_eq!(run(&[1, 1]), vec![1, 0]);
+    }
+
+    /// The logical clock is monotone and visible to bodies.
+    #[test]
+    fn logical_clock_orders_events() {
+        let times = Arc::new(Mutex::new((0usize, 0usize)));
+        let t2 = Arc::clone(&times);
+        Explorer::default().replay(&[0, 0, 0], move || {
+            let ta = Arc::clone(&t2);
+            let tb = Arc::clone(&t2);
+            Replay {
+                threads: vec![
+                    Box::new(move |ctx: &ModelCtx| {
+                        ctx.step("a");
+                        ta.lock().unwrap().0 = ctx.now();
+                    }),
+                    Box::new(move |ctx: &ModelCtx| {
+                        ctx.step("a");
+                        tb.lock().unwrap().1 = ctx.now();
+                    }),
+                ],
+                check: Box::new(|| {}),
+            }
+        });
+        let (a, b) = *times.lock().unwrap();
+        assert_ne!(a, b, "distinct steps have distinct clock readings");
+    }
+}

@@ -270,6 +270,8 @@ impl ProcessWorld {
     /// when the run exceeds [`run_timeout`](Self::run_timeout). On any
     /// error every surviving rank is killed before returning.
     pub fn launch(&self) -> Result<WorldOutput<Vec<u8>>, CommError> {
+        // Relaxed: the id only needs to be unique, not ordered with
+        // anything — each fetch_add returns a distinct value regardless.
         static WORLD_ID: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "stkde-world-{}-{}",

@@ -10,8 +10,15 @@
 
 use crate::error::CommError;
 use crate::payload::Payload;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Deadline on a single blocking receive. Honest protocol traffic between
+/// in-process ranks arrives in microseconds; waiting this long means a
+/// peer died or the protocol deadlocked, and crashing with context beats
+/// hanging the whole world (see the STK005 lint rule).
+const RECV_DEADLINE: Duration = Duration::from_secs(30);
 
 /// An addressed message in flight.
 struct Envelope<P> {
@@ -201,10 +208,7 @@ impl<P: Payload> Comm<P> {
             return self.take_pending(i);
         }
         loop {
-            let env = self
-                .inbox
-                .recv()
-                .expect("all ranks finished with a receive outstanding (protocol deadlock)");
+            let env = self.recv_inbox(&format!("tag {tag} from rank {from}"));
             if env.from == from && env.tag == tag {
                 return self.account_recv(env);
             }
@@ -220,15 +224,38 @@ impl<P: Payload> Comm<P> {
             return (from, self.take_pending(i));
         }
         loop {
-            let env = self
-                .inbox
-                .recv()
-                .expect("all ranks finished with a receive outstanding (protocol deadlock)");
+            let env = self.recv_inbox(&format!("tag {tag} from any rank"));
             if env.tag == tag {
                 let from = env.from;
                 return (from, self.account_recv(env));
             }
             self.pending.push(env);
+        }
+    }
+
+    /// One inbox receive with the [`RECV_DEADLINE`] applied.
+    ///
+    /// # Panics
+    /// Panics — with the rank, what it was waiting for, and how many
+    /// non-matching messages are buffered — when the deadline expires or
+    /// every sender is gone. Both mean the protocol can never make
+    /// progress, and a diagnosed crash is the designed response.
+    fn recv_inbox(&mut self, wanted: &str) -> Envelope<P> {
+        match self.inbox.recv_timeout(RECV_DEADLINE) {
+            Ok(env) => env,
+            Err(e) => {
+                let why = match e {
+                    RecvTimeoutError::Timeout => "deadline expired (dead peer or deadlock)",
+                    RecvTimeoutError::Disconnected => "every sending rank already finished",
+                };
+                panic!(
+                    "rank {}: receive of {wanted} cannot complete: {why} \
+                     ({} buffered non-matching message(s), {:?} deadline)",
+                    self.rank,
+                    self.pending.len(),
+                    RECV_DEADLINE,
+                )
+            }
         }
     }
 

@@ -40,6 +40,9 @@ pub struct SharedGrid<'a, S> {
 // threads. Under that contract there are no data races, making it sound to
 // share the view across threads.
 unsafe impl<S: Scalar> Send for SharedGrid<'_, S> {}
+// SAFETY: same argument as Send above — all mutation goes through unsafe
+// methods whose contracts require disjoint regions, so shared references
+// across threads cannot race.
 unsafe impl<S: Scalar> Sync for SharedGrid<'_, S> {}
 
 impl<'a, S: Scalar> SharedGrid<'a, S> {
@@ -127,6 +130,9 @@ impl WriteAudit {
     /// `region`. Returns `false` (and records a violation) if the region
     /// overlaps a currently claimed region of a *different* owner.
     pub fn claim(&self, owner: usize, region: VoxelRange) -> bool {
+        // Relaxed: `claims`/`violations` are diagnostic tallies with no
+        // ordering relationship to the writes being audited — the Mutex
+        // below is what orders the actual overlap check.
         self.claims.fetch_add(1, Ordering::Relaxed);
         let mut active = self.active.lock().unwrap();
         let overlap = active

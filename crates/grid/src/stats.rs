@@ -138,11 +138,12 @@ pub fn top_k<S: Scalar>(grid: &Grid3<S>, k: usize) -> Vec<((usize, usize, usize)
         return Vec::new();
     }
     let pivot = k - 1;
-    indexed.select_nth_unstable_by(pivot, |a, b| {
-        b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
-    });
+    // total_cmp, not partial_cmp().unwrap(): a NaN voxel (conceivable from
+    // corrupted ingest) must not panic the stats path — IEEE total order
+    // ranks NaNs deterministically instead.
+    indexed.select_nth_unstable_by(pivot, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     indexed.truncate(k);
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     indexed
         .into_iter()
         .map(|(i, v)| (grid.dims().coords(i), v))

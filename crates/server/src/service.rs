@@ -62,6 +62,12 @@ impl ServiceConfig {
 }
 
 /// Ingest/serve counters, shared with the writer thread.
+///
+/// Ordering discipline: counters that participate in the [`settled`]
+/// quiescence check (`received`, and the settling side of `applied`/
+/// `aged_in_batch`) use Release increments paired with Acquire loads;
+/// everything else is Relaxed — monotone statistics where readers
+/// tolerate lag and no other memory depends on their order.
 #[derive(Debug, Default)]
 struct Counters {
     /// Events accepted by `enqueue` (finite coordinates).

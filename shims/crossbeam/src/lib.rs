@@ -6,7 +6,9 @@
 
 /// Multi-producer channels (the `crossbeam-channel` subset in use).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
 
     /// Create an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {

@@ -7,14 +7,37 @@
 //!
 //! The implementation follows Chase & Lev (SPAA 2005) in the C11
 //! formulation of Lê et al. (PPoPP 2013), with one simplification suited
-//! to a long-lived pool: when the circular buffer grows, the retired
-//! buffer is intentionally *leaked* instead of reclaimed through an epoch
-//! scheme. A concurrent thief may still be reading the old buffer, and
-//! leaking it makes that read trivially safe. Buffers double in size, so
-//! the total leak per deque is bounded by twice the high-water mark —
-//! a few kilobytes of `AtomicPtr` cells for realistic workloads.
+//! to a long-lived pool, documented next.
+//!
+//! # The retired-buffer leak, as an invariant
+//!
+//! When the circular buffer grows, the retired buffer is intentionally
+//! *leaked* instead of reclaimed through an epoch scheme. The safety
+//! argument every `unsafe` deref of `self.buf` relies on:
+//!
+//! 1. **Publication**: `buf` only ever moves from one live `Buffer` to
+//!    another via `grow`'s Release store; it is never nulled and never
+//!    set to a freed allocation (retired buffers are leaked, the
+//!    current one is freed only in `Drop`, which has `&mut self`).
+//! 2. **Stale reads are safe**: a thief that loaded `buf` before a grow
+//!    may read *cells* of the retired buffer. Those cells are never
+//!    deallocated (leak), and the values it can observe at index `t`
+//!    are only trusted after winning the CAS on `top` — which fails if
+//!    the owner wrapped past `t`, so a stale cell value is never
+//!    *used* unless it is still the live job for index `t`.
+//! 3. **Bounded cost**: buffers double, so total leaked memory per
+//!    deque is bounded by twice the high-water mark — one `AtomicPtr`
+//!    cell per job slot, a few KiB for realistic workloads. Deques
+//!    live as long as the process (the registry never drops workers),
+//!    so "leak" here means "reclaimed at exit", not unbounded growth.
+//!
+//! This argument (and the fence pairing between `pop` and `steal`) is
+//! model-checked: the `model` feature compiles yield points into every
+//! racing access, and `stkde-analyze`'s deque scenarios exhaustively
+//! explore the interleavings, including steal-during-grow.
 
 use crate::job::JobRef;
+use crate::model::yield_point;
 use std::ptr;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 
@@ -63,16 +86,28 @@ pub(crate) struct Deque {
 // SAFETY: all fields are atomics; the owner-only contract of `push`/`pop`
 // is enforced by the registry (each worker only touches its own bottom).
 unsafe impl Send for Deque {}
+// SAFETY: as above — shared access is mediated entirely by atomics.
 unsafe impl Sync for Deque {}
 
 const INITIAL_CAP: usize = 64;
 
 impl Deque {
     pub(crate) fn new() -> Self {
+        Self::with_capacity(INITIAL_CAP)
+    }
+
+    /// A deque with a chosen initial ring size. The model checker uses
+    /// tiny capacities so growth races are reachable in a handful of
+    /// ops; production deques start at [`INITIAL_CAP`].
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        assert!(
+            cap.is_power_of_two(),
+            "deque capacity must be a power of two"
+        );
         Deque {
             top: AtomicIsize::new(0),
             bottom: AtomicIsize::new(0),
-            buf: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(INITIAL_CAP)))),
+            buf: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(cap)))),
         }
     }
 
@@ -82,12 +117,17 @@ impl Deque {
     /// Only the owning worker thread may call this.
     pub(crate) unsafe fn push(&self, job: JobRef) {
         let b = self.bottom.load(Ordering::Relaxed);
+        yield_point("deque::push:read_top");
         let t = self.top.load(Ordering::Acquire);
-        let mut buf = &*self.buf.load(Ordering::Relaxed);
+        // SAFETY: `buf` always points at a live Buffer (module docs,
+        // invariant 1); the owner is the only thread that replaces it.
+        let mut buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
         if b - t >= buf.cells.len() as isize {
             buf = self.grow(b, t);
         }
+        yield_point("deque::push:write_cell");
         buf.at(b).store(job.0 as *mut JobHeader, Ordering::Relaxed);
+        yield_point("deque::push:publish_bottom");
         // The Release store of `bottom` publishes the cell write to thieves
         // that Acquire-load `bottom`.
         self.bottom.store(b + 1, Ordering::Release);
@@ -99,26 +139,35 @@ impl Deque {
     /// Only the owning worker thread may call this.
     pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
-        let buf = &*self.buf.load(Ordering::Relaxed);
+        // SAFETY: `buf` points at a live Buffer (module docs, invariant
+        // 1); only the owner (this thread) can swap it.
+        let buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        yield_point("deque::pop:take_bottom");
         self.bottom.store(b, Ordering::Relaxed);
+        yield_point("deque::pop:fence");
         // SeqCst fence: the `bottom` decrement must be globally visible
         // before we read `top`, so a concurrent thief and this pop cannot
         // both claim the same single remaining element.
         fence(Ordering::SeqCst);
+        yield_point("deque::pop:read_top");
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
+            yield_point("deque::pop:read_cell");
             let job = buf.at(b).load(Ordering::Relaxed);
             if t == b {
+                yield_point("deque::pop:cas_top");
                 // Single element: race against thieves via CAS on `top`.
                 let won = self
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
+                yield_point("deque::pop:restore_bottom");
                 self.bottom.store(b + 1, Ordering::Relaxed);
                 return won.then_some(JobRef(job));
             }
             Some(JobRef(job))
         } else {
+            yield_point("deque::pop:restore_bottom_empty");
             // Deque was empty; restore bottom.
             self.bottom.store(b + 1, Ordering::Relaxed);
             None
@@ -127,18 +176,24 @@ impl Deque {
 
     /// Steal from the top (FIFO). Callable from any thread.
     pub(crate) fn steal(&self) -> Steal {
+        yield_point("deque::steal:read_top");
         let t = self.top.load(Ordering::Acquire);
         // SeqCst fence pairs with the fence in `pop`: if our CAS below
         // succeeds, the owner's racing pop of the same element fails.
         fence(Ordering::SeqCst);
+        yield_point("deque::steal:read_bottom");
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
         }
+        yield_point("deque::steal:read_buf");
         // SAFETY: `buf` always points at a live Buffer — retired buffers
-        // are leaked, never freed, so a stale pointer still reads validly.
+        // are leaked, never freed, so a stale pointer still reads validly
+        // (module docs, invariants 1 and 2).
         let buf = unsafe { &*self.buf.load(Ordering::Acquire) };
+        yield_point("deque::steal:read_cell");
         let job = buf.at(t).load(Ordering::Relaxed);
+        yield_point("deque::steal:cas_top");
         // The value read above is only trusted if we win the CAS on `top`:
         // winning proves index `t` was not recycled (the owner cannot wrap
         // around onto cell `t & mask` without `top` first advancing).
@@ -155,17 +210,23 @@ impl Deque {
 
     /// Double the buffer. Called by the owner from `push` when full.
     fn grow(&self, b: isize, t: isize) -> &Buffer {
-        // SAFETY: owner-only path; the current buffer stays alive (leaked).
+        // SAFETY: owner-only path (called from `push`); the current
+        // buffer stays alive — retired generations are leaked, never
+        // freed (module docs, invariant 1).
         let old = unsafe { &*self.buf.load(Ordering::Relaxed) };
         let new = Buffer::new(old.cells.len() * 2);
         for i in t..b {
+            yield_point("deque::grow:copy_cell");
             new.at(i)
                 .store(old.at(i).load(Ordering::Relaxed), Ordering::Relaxed);
         }
         let ptr = Box::into_raw(Box::new(new));
+        yield_point("deque::grow:publish_buf");
         // Release so thieves that Acquire-load `buf` see the copied cells.
         self.buf.store(ptr, Ordering::Release);
         // `old` is leaked deliberately — see module docs.
+        // SAFETY: `ptr` was just created from a live Box and published;
+        // nothing can free it (only Drop does, with exclusive access).
         unsafe { &*ptr }
     }
 }
@@ -174,7 +235,8 @@ impl Drop for Deque {
     fn drop(&mut self) {
         // Free the *current* buffer only; retired generations were leaked
         // by design. (In practice deques live as long as the process.)
-        // SAFETY: exclusive access in drop.
+        // SAFETY: exclusive access in drop; `buf` holds the pointer of
+        // the live Buffer `grow` last published (or the initial one).
         unsafe { drop(Box::from_raw(self.buf.load(Ordering::Relaxed))) };
     }
 }

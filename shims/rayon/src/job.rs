@@ -23,6 +23,10 @@ use std::sync::{Condvar, Mutex};
 /// First field of every concrete job type: the type-erased entry point.
 #[repr(C)]
 pub(crate) struct JobHeader {
+    // SAFETY: contract of the fn pointer — it is only ever called with the
+    // address of the concrete job that embeds this header (repr(C), header
+    // first, so the pointers coincide), exactly once, while that job is
+    // still alive.
     execute: unsafe fn(*const ()),
 }
 
@@ -42,7 +46,9 @@ impl JobRef {
     /// # Safety
     /// The referent must still be alive and must not have been executed yet.
     pub(crate) unsafe fn execute(self) {
-        ((*self.0).execute)(self.0 as *const ())
+        // SAFETY: alive-and-unexecuted per this fn's contract; the header
+        // pointer is the job pointer (repr(C), header first).
+        unsafe { ((*self.0).execute)(self.0 as *const ()) }
     }
 }
 
@@ -154,19 +160,27 @@ where
     /// Only call after the latch is set (or after executing the ref on this
     /// thread); no other thread may still touch the job.
     pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
-        std::mem::replace(&mut *self.result.get(), JobResult::Pending)
+        // SAFETY: the latch is set (this fn's contract), so the executing
+        // thread is done with the cell and we hold the only access.
+        unsafe { std::mem::replace(&mut *self.result.get(), JobResult::Pending) }
     }
 
     unsafe fn execute_erased(this: *const ()) {
-        let job = &*(this as *const Self);
-        let func = (*job.func.get()).take().expect("job executed twice");
+        // SAFETY: `this` is the address of a live StackJob (the header is
+        // its first repr(C) field), and execute-exactly-once means no other
+        // thread touches `func`/`result` until the latch below is set.
+        let job = unsafe { &*(this as *const Self) };
+        // SAFETY: exclusive access to `func` per the execute-once contract.
+        let func = unsafe { (*job.func.get()).take() }.expect("job executed twice");
         // The panic is captured, not propagated: the worker thread stays
         // alive, and whoever waits on the latch re-raises the payload.
         let result = match catch_unwind(AssertUnwindSafe(func)) {
             Ok(v) => JobResult::Ok(v),
             Err(p) => JobResult::Panic(p),
         };
-        *job.result.get() = result;
+        // SAFETY: same exclusivity as above — the waiter only reads the
+        // cell after the latch is set on the next line.
+        unsafe { *job.result.get() = result };
         job.latch.set();
     }
 }
@@ -192,8 +206,15 @@ impl<F: FnOnce()> HeapJob<F> {
         JobRef(Box::into_raw(boxed) as *const JobHeader)
     }
 
+    /// # Safety
+    /// `this` must be the pointer produced by [`Self::into_job_ref`], and
+    /// this function must be its first and only invocation — it reclaims
+    /// the heap allocation.
     unsafe fn execute_erased(this: *const ()) {
-        let job = Box::from_raw(this as *mut Self);
+        // SAFETY: `this` came from Box::into_raw of a HeapJob<F> (the
+        // header is the first repr(C) field, so the addresses coincide)
+        // and execute-exactly-once gives us back unique ownership.
+        let job = unsafe { Box::from_raw(this as *mut Self) };
         (job.func)();
     }
 }

@@ -62,6 +62,7 @@
 mod deque;
 mod job;
 mod join;
+pub mod model;
 mod registry;
 mod scope;
 

@@ -12,6 +12,7 @@
 
 use crate::deque::{Deque, Steal};
 use crate::job::{JobRef, LockLatch, SpinLatch, StackJob};
+use crate::model::yield_point;
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::ptr;
@@ -38,6 +39,115 @@ pub(crate) fn default_threads() -> usize {
     })
 }
 
+/// The sleep/wake protocol between work publishers and idle workers,
+/// extracted so the model checker can drive the real code.
+///
+/// The protocol is Dekker-style: `epoch` is bumped on every publication
+/// of work; a would-be sleeper registers in `sleepers`, takes an epoch
+/// ticket, rescans for work, and only sleeps if the ticket is still
+/// current under the condvar mutex. Either the publisher's fence + load
+/// observes the registration (it bumps the epoch and notifies), or the
+/// sleeper's post-registration rescan observes the push — a publication
+/// is never lost in both directions. That claim is exactly what the
+/// `stkde-analyze` sleep-gate scenarios exhaustively check through the
+/// yield points below.
+pub(crate) struct SleepGate {
+    /// Bumped on every publication of work.
+    epoch: AtomicUsize,
+    /// Workers registered as going-to-sleep.
+    sleepers: AtomicUsize,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl SleepGate {
+    pub(crate) fn new() -> Self {
+        SleepGate {
+            epoch: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publish "there is new work" to sleeping workers.
+    ///
+    /// The fast path (everyone awake) is a fence plus one relaxed load,
+    /// so the per-`join` push does not serialize busy workers on a
+    /// shared cache line.
+    pub(crate) fn notify(&self) {
+        yield_point("gate::notify:fence");
+        std::sync::atomic::fence(Ordering::SeqCst);
+        yield_point("gate::notify:read_sleepers");
+        // Relaxed is sound here because the SeqCst fence above orders
+        // this load after the caller's work publication: see the
+        // pairing argument on `prepare_park`.
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        yield_point("gate::notify:bump_epoch");
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.mutex.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    /// Sleeper side, step 1: register as a sleeper and take the epoch
+    /// ticket. The caller must rescan for work *after* this returns;
+    /// the registration/rescan order pairs with `notify`'s fence/load —
+    /// a push concurrent with going idle is either found by the rescan
+    /// or wakes the sleeper.
+    pub(crate) fn prepare_park(&self) -> usize {
+        yield_point("gate::prepare:register");
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // SC fence pairing with the one in `notify`: whichever fence is
+        // ordered first, either the publisher's sleepers-load sees our
+        // registration or our rescan sees its push.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        yield_point("gate::prepare:read_epoch");
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Sleeper side, rescan found work: deregister without sleeping.
+    pub(crate) fn cancel_park(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Sleeper side, step 2: sleep unless the epoch moved past `ticket`.
+    ///
+    /// The wait is long, not infinite: idle churn is negligible at 2
+    /// wakeups/s per worker, and the timeout heals any scheduling bug
+    /// this shim might still hide instead of hanging the process.
+    /// Deregisters the sleeper before returning.
+    pub(crate) fn park(&self, ticket: usize, timeout: Duration) {
+        {
+            let guard = self.mutex.lock().unwrap();
+            // Re-check under the lock: a publisher that bumped the epoch
+            // after our rescan holds (or will take) this mutex to notify,
+            // so it cannot slip between this check and the wait.
+            if self.epoch.load(Ordering::SeqCst) == ticket {
+                let _ = self.cv.wait_timeout(guard, timeout).unwrap();
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// `park`'s go/no-go decision without the wait: the under-lock epoch
+    /// recheck, reporting whether this sleeper *would* block. Only the
+    /// model checker calls this (through `rayon::model::TestSleepGate`),
+    /// so a modeled sleeper can be asserted against without blocking the
+    /// deterministic scheduler. Deregisters the sleeper, like `park`.
+    #[cfg(feature = "model")]
+    pub(crate) fn sleep_decision(&self, ticket: usize) -> bool {
+        yield_point("gate::park:lock_recheck");
+        let decision = {
+            let _guard = self.mutex.lock().unwrap();
+            self.epoch.load(Ordering::SeqCst) == ticket
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        decision
+    }
+}
+
 /// A persistent set of worker threads plus the shared scheduling state.
 pub(crate) struct Registry {
     size: usize,
@@ -45,13 +155,8 @@ pub(crate) struct Registry {
     /// FIFO queue for jobs injected by non-pool threads (`install`,
     /// top-level parallel operations, cross-pool calls).
     injector: Mutex<VecDeque<JobRef>>,
-    /// Wakeup protocol: `epoch` is bumped on every publication of work;
-    /// a would-be sleeper re-checks it under the mutex before waiting, so
-    /// a wakeup between its failed scan and its wait cannot be lost.
-    epoch: AtomicUsize,
-    sleepers: AtomicUsize,
-    sleep_mutex: Mutex<()>,
-    sleep_cv: Condvar,
+    /// Wakeup protocol for idle workers; see [`SleepGate`].
+    gate: SleepGate,
 }
 
 /// Process-wide registry cache, keyed by worker count.
@@ -94,10 +199,7 @@ impl Registry {
             size,
             deques: (0..size).map(|_| Deque::new()).collect(),
             injector: Mutex::new(VecDeque::new()),
-            epoch: AtomicUsize::new(0),
-            sleepers: AtomicUsize::new(0),
-            sleep_mutex: Mutex::new(()),
-            sleep_cv: Condvar::new(),
+            gate: SleepGate::new(),
         });
         for index in 0..size {
             let registry = Arc::clone(&registry);
@@ -111,26 +213,12 @@ impl Registry {
     }
 
     /// Publish "there is new work" to sleeping workers.
-    ///
-    /// The fast path (everyone awake) is a fence plus one relaxed load,
-    /// so the per-`join` push does not serialize busy workers on a
-    /// shared cache line. Pairing (Dekker-style) with the sleeper's
-    /// register-then-rescan protocol in `idle_park`: either this fence +
-    /// load observes the registration (we bump the epoch and notify), or
-    /// the sleeper's post-registration rescan observes our push — a
-    /// publication is never lost in both directions.
     pub(crate) fn notify_work(&self) {
         if self.size == 1 && in_registry(self) {
             // The only worker is the current thread; nobody to wake.
             return;
         }
-        std::sync::atomic::fence(Ordering::SeqCst);
-        if self.sleepers.load(Ordering::Relaxed) == 0 {
-            return;
-        }
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        let _guard = self.sleep_mutex.lock().unwrap();
-        self.sleep_cv.notify_all();
+        self.gate.notify();
     }
 
     /// Queue a job from outside the pool.
@@ -161,39 +249,16 @@ impl Registry {
         unsafe { job.take_result() }.into_return_value()
     }
 
-    /// Park an idle worker: register as a sleeper, rescan once (the
-    /// registration/rescan order pairs with `notify_work`'s fence/load —
-    /// a push concurrent with going idle is either found by this rescan
-    /// or wakes us), then wait on the condvar. Returns work if the
-    /// rescan found some.
-    ///
-    /// The wait is long, not infinite: idle churn is negligible at 2
-    /// wakeups/s per worker, and the timeout heals any scheduling bug
-    /// this shim might still hide instead of hanging the process.
+    /// Park an idle worker: register as a sleeper, rescan once, then
+    /// sleep through the [`SleepGate`]. Returns work if the rescan found
+    /// some.
     fn idle_park(&self, worker: &WorkerThread) -> Option<JobRef> {
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        // SC fence pairing with the one in `notify_work`: whichever fence
-        // is ordered first, either the publisher's sleepers-load sees our
-        // registration or our rescan below sees its push.
-        std::sync::atomic::fence(Ordering::SeqCst);
-        let epoch_before_rescan = self.epoch.load(Ordering::SeqCst);
+        let ticket = self.gate.prepare_park();
         if let Some(job) = worker.find_work(true) {
-            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            self.gate.cancel_park();
             return Some(job);
         }
-        {
-            let guard = self.sleep_mutex.lock().unwrap();
-            // Re-check under the lock: a publisher that bumped the epoch
-            // after our rescan holds (or will take) this mutex to notify,
-            // so it cannot slip between this check and the wait.
-            if self.epoch.load(Ordering::SeqCst) == epoch_before_rescan {
-                let _ = self
-                    .sleep_cv
-                    .wait_timeout(guard, Duration::from_millis(500))
-                    .unwrap();
-            }
-        }
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.gate.park(ticket, Duration::from_millis(500));
         None
     }
 }
