@@ -84,6 +84,7 @@ pub const RULES: &[Rule] = &[
             "crates/grid/src",
             "crates/comm/src",
             "crates/server/src",
+            "crates/obs/src",
         ],
         exclude: &[],
         skip_test_code: true,
@@ -264,6 +265,9 @@ mod tests {
         let rule = rule_by_id("STK003").unwrap();
         rule.apply(&scan_source("crates/core/src/a.rs", src, false), &mut out);
         assert_eq!(out.len(), 1);
+        out.clear();
+        rule.apply(&scan_source("crates/obs/src/a.rs", src, false), &mut out);
+        assert_eq!(out.len(), 1, "obs is a hot crate too");
         out.clear();
         rule.apply(&scan_source("crates/bench/src/a.rs", src, false), &mut out);
         assert!(out.is_empty());

@@ -1,6 +1,6 @@
 //! CI bench regression guard.
 //!
-//! Usage: `bench_guard <current.jsonl> <baseline.jsonl> [max_ratio]`
+//! Usage: `bench_guard [--only PREFIX] <current.jsonl> <baseline.jsonl> [max_ratio]`
 //!
 //! Both files hold one JSON object per line, as emitted by the criterion
 //! shim under `STKDE_BENCH_JSON`: `{"id":"group/name","best_s":1.2e-3}`.
@@ -30,6 +30,21 @@
 //! Ids only present on one side are reported but never fail the run, so
 //! adding or retiring benchmarks does not require touching the baseline
 //! in the same change.
+//!
+//! `--only PREFIX` restricts the comparison (and the in-run invariants)
+//! to ids starting with `PREFIX`. CI's observability-overhead gate uses
+//! this to compare a scatter-only obs-enabled run against the obs-off
+//! run from the same job at a tight threshold, without demanding that
+//! the obs run re-execute every other bench. Calibration still comes
+//! from `work_stealing_t8/calib` when both sides carry it.
+//!
+//! `--geomean` changes the pass criterion from per-benchmark to the
+//! *geometric mean* ratio over the compared set. Per-id wall-clock on
+//! this container jitters by several percent run to run, so a 1%
+//! per-id gate would flake on noise; a systematic overhead (which is
+//! what instrumentation adds) moves every id together and survives in
+//! the geomean, while idiosyncratic jitter averages out. The overhead
+//! gates use `--geomean`; the 2x regression guard stays per-id.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -56,10 +71,13 @@ fn parse_line(line: &str) -> Option<(String, f64)> {
     (best_s.is_finite() && best_s > 0.0).then_some((id, best_s))
 }
 
-/// Last-write-wins map of benchmark id -> best seconds.
+/// Map of benchmark id -> best seconds. Duplicate ids keep the *minimum*:
+/// `best_s` is already a best-of-batches floor, so appending repeated runs
+/// to one file (as CI's overhead gates do) tightens the estimate instead
+/// of overwriting it.
 fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut map = BTreeMap::new();
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() {
@@ -67,7 +85,9 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
         }
         match parse_line(line) {
             Some((id, s)) => {
-                map.insert(id, s);
+                map.entry(id)
+                    .and_modify(|cur| *cur = cur.min(s))
+                    .or_insert(s);
             }
             None => return Err(format!("{path}: unparsable bench record: {line}")),
         }
@@ -79,11 +99,33 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Option<String> = None;
+    let mut geomean = false;
+    let mut args = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--only" {
+            match it.next() {
+                Some(p) => only = Some(p),
+                None => {
+                    eprintln!("bench_guard: --only needs a PREFIX");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--geomean" {
+            geomean = true;
+        } else {
+            args.push(a);
+        }
+    }
     let (current_path, baseline_path) = match args.as_slice() {
         [c, b] | [c, b, _] => (c.as_str(), b.as_str()),
         _ => {
-            eprintln!("usage: bench_guard <current.jsonl> <baseline.jsonl> [max_ratio]");
+            eprintln!(
+                "usage: bench_guard [--only PREFIX] [--geomean] \
+                 <current.jsonl> <baseline.jsonl> [max_ratio]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -91,6 +133,7 @@ fn main() -> ExitCode {
         .get(2)
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(DEFAULT_MAX_RATIO);
+    let selected = |id: &str| only.as_deref().is_none_or(|p| id.starts_with(p));
 
     let (current, baseline) = match (load(current_path), load(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
@@ -115,12 +158,14 @@ fn main() -> ExitCode {
     };
 
     let mut failures = Vec::new();
+    let mut log_ratio_sum = 0.0;
+    let mut compared = 0usize;
     println!(
         "{:<45} {:>12} {:>12} {:>8}",
         "benchmark", "current", "baseline", "ratio"
     );
     for (id, &cur) in &current {
-        if id == CALIB_ID {
+        if id == CALIB_ID || !selected(id) {
             continue;
         }
         let Some(&base) = baseline.get(id) else {
@@ -128,39 +173,57 @@ fn main() -> ExitCode {
             continue;
         };
         let ratio = (cur / base) / speed;
-        let flag = if ratio > max_ratio { " REGRESSION" } else { "" };
+        log_ratio_sum += ratio.ln();
+        compared += 1;
+        let per_id_fail = !geomean && ratio > max_ratio;
+        let flag = if per_id_fail { " REGRESSION" } else { "" };
         println!("{id:<45} {cur:>12.3e} {base:>12.3e} {ratio:>8.2}{flag}");
-        if ratio > max_ratio {
+        if per_id_fail {
             failures.push((id.clone(), ratio));
         }
     }
+    if geomean {
+        if compared == 0 {
+            eprintln!("bench_guard: --geomean with no common benchmarks to compare");
+            return ExitCode::from(2);
+        }
+        let gm = (log_ratio_sum / compared as f64).exp();
+        println!("geometric mean over {compared} benchmark(s): {gm:.4} (limit {max_ratio})");
+        if gm > max_ratio {
+            failures.push((format!("geomean over {compared} benchmarks"), gm));
+        }
+    }
     for id in baseline.keys() {
-        if id != CALIB_ID && !current.contains_key(id) {
+        if id != CALIB_ID && selected(id) && !current.contains_key(id) {
             println!("{id:<45} {:>12} (baseline only)", "-");
         }
     }
 
     // In-run scheduler invariant (core-count independent, see module docs):
     // work stealing must beat the spawn-per-phase static split it replaced.
-    if let (Some(&steal), Some(&stat)) = (current.get(STEAL_ID), current.get(STATIC_ID)) {
-        let ratio = steal / stat;
-        println!("scheduler invariant: steal/static = {ratio:.2} (must be < 1.0)");
-        if ratio >= 1.0 {
-            failures.push(("steal/static in-run invariant".to_string(), ratio));
+    if selected(STEAL_ID) {
+        if let (Some(&steal), Some(&stat)) = (current.get(STEAL_ID), current.get(STATIC_ID)) {
+            let ratio = steal / stat;
+            println!("scheduler invariant: steal/static = {ratio:.2} (must be < 1.0)");
+            if ratio >= 1.0 {
+                failures.push(("steal/static in-run invariant".to_string(), ratio));
+            }
         }
     }
 
     // In-run scatter-engine invariant (same machine-independence argument):
     // the vectorized, span-clipped f32 PB-SYM scatter must beat the
     // pre-engine loop reproduced alongside it in the same process.
-    if let (Some(&engine), Some(&naive)) = (
-        current.get(SCATTER_ENGINE_ID),
-        current.get(SCATTER_NAIVE_ID),
-    ) {
-        let ratio = engine / naive;
-        println!("scatter invariant: engine/naive = {ratio:.2} (must be < 1.0)");
-        if ratio >= 1.0 {
-            failures.push(("scatter engine/naive in-run invariant".to_string(), ratio));
+    if selected(SCATTER_ENGINE_ID) {
+        if let (Some(&engine), Some(&naive)) = (
+            current.get(SCATTER_ENGINE_ID),
+            current.get(SCATTER_NAIVE_ID),
+        ) {
+            let ratio = engine / naive;
+            println!("scatter invariant: engine/naive = {ratio:.2} (must be < 1.0)");
+            if ratio >= 1.0 {
+                failures.push(("scatter engine/naive in-run invariant".to_string(), ratio));
+            }
         }
     }
 

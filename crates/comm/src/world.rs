@@ -332,6 +332,43 @@ impl<T> WorldOutput<T> {
     }
 }
 
+/// Mirror per-rank traffic stats into a metrics registry as
+/// `stkde_comm_*_total{rank="<i>"}` counters (`obs` feature only).
+///
+/// Called by every world backend when a run completes; counters stay
+/// monotone because successive runs *add*, which is what a scraping
+/// monitor expects. Also usable against a fresh registry to render a
+/// standalone per-rank dump (the distmem CI artifact).
+#[cfg(feature = "obs")]
+pub fn record_rank_stats(registry: &stkde_obs::Registry, stats: &[RankStats]) {
+    use stkde_obs::names;
+    for (rank, s) in stats.iter().enumerate() {
+        let r = rank.to_string();
+        let labels: &[(&str, &str)] = &[("rank", r.as_str())];
+        registry
+            .counter(names::COMM_MSGS_SENT, labels)
+            .add(s.msgs_sent as u64);
+        registry
+            .counter(names::COMM_BYTES_SENT, labels)
+            .add(s.bytes_sent as u64);
+        registry
+            .counter(names::COMM_MSGS_RECV, labels)
+            .add(s.msgs_recv as u64);
+        registry
+            .counter(names::COMM_BYTES_RECV, labels)
+            .add(s.bytes_recv as u64);
+        registry
+            .counter(names::COMM_FRAMES_SENT, labels)
+            .add(s.frames_sent as u64);
+        registry
+            .counter(names::COMM_FRAMES_RECV, labels)
+            .add(s.frames_recv as u64);
+        registry
+            .counter(names::COMM_BARRIERS, labels)
+            .add(s.barriers as u64);
+    }
+}
+
 /// A fixed-size SPMD world.
 ///
 /// ```
@@ -427,7 +464,10 @@ impl World {
         });
 
         let (outputs, stats) = results.into_iter().unzip();
-        WorldOutput { outputs, stats }
+        let out = WorldOutput { outputs, stats };
+        #[cfg(feature = "obs")]
+        record_rank_stats(stkde_obs::global(), &out.stats);
+        out
     }
 }
 

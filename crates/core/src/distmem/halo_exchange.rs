@@ -126,6 +126,11 @@ where
         Ok(())
     };
 
+    #[cfg(feature = "obs")]
+    let mode_label = match mode {
+        HaloMode::Overlapped => "overlapped",
+        HaloMode::Phased => "phased",
+    };
     match mode {
         HaloMode::Overlapped => {
             // Boundary first: the instant those cylinders land, every
@@ -143,6 +148,14 @@ where
         }
     }
 
+    #[cfg(feature = "obs")]
+    stkde_obs::global()
+        .histogram(
+            stkde_obs::names::HALO_COMPUTE_SECONDS,
+            &[("mode", mode_label)],
+        )
+        .observe(compute_secs);
+
     // Receive every ghost region other ranks computed for us. The sender
     // set is deterministic: rank r' sends iff its extended slab overlaps
     // our slab (mirror of the send loop above).
@@ -155,6 +168,8 @@ where
             e0.max(slab.t0) < e1.min(slab.t1)
         })
         .count();
+    #[cfg(feature = "obs")]
+    let wait_start = std::time::Instant::now();
     let mut halos: Vec<(usize, usize, Vec<S>)> = Vec::with_capacity(expected);
     for _ in 0..expected {
         match comm.recv_any(TAG_HALO)? {
@@ -169,6 +184,10 @@ where
             }
         }
     }
+    #[cfg(feature = "obs")]
+    stkde_obs::global()
+        .histogram(stkde_obs::names::HALO_WAIT_SECONDS, &[("mode", mode_label)])
+        .observe(wait_start.elapsed().as_secs_f64());
     // Apply in sender order, not arrival order: overlapping ghost regions
     // then sum in a fixed order, keeping the result bit-reproducible
     // across backends, thread counts, and message races.

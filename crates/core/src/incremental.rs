@@ -202,6 +202,13 @@ impl<S: Scalar, K: SpaceTimeKernel> IncrementalStkde<S, K> {
         }
     }
 
+    /// The live (unnormalized) accumulation grid — for footprint
+    /// reporting and direct slab reads; normalized queries go through
+    /// [`density`](Self::density) and friends.
+    pub fn grid(&self) -> &Grid3<S> {
+        &self.grid
+    }
+
     /// Materialize the normalized cube (equals a batch `PB-SYM` over the
     /// live points, up to float summation order).
     pub fn snapshot(&self) -> Grid3<S> {

@@ -425,6 +425,8 @@ pub unsafe fn apply_point_sym<S: Scalar, K: SpaceTimeKernel>(
         return;
     }
     scratch.prepare_sym(problem, kernel, p, r);
+    #[cfg(feature = "obs")]
+    tally::sym_scatter(&scratch.chords, scratch.planes.len());
     let Scratch {
         chords,
         disk,
@@ -450,6 +452,8 @@ pub unsafe fn apply_point<S: Scalar, K: SpaceTimeKernel>(
     clip: VoxelRange,
     scratch: &mut Scratch<S>,
 ) {
+    #[cfg(feature = "obs")]
+    tally::point(write_region(problem, p, clip));
     // SAFETY: forwarded from the caller contract.
     unsafe {
         match which {
@@ -458,6 +462,35 @@ pub unsafe fn apply_point<S: Scalar, K: SpaceTimeKernel>(
             PointKernel::Bar => apply_point_bar(grid, problem, kernel, p, clip, scratch),
             PointKernel::Sym => apply_point_sym(grid, problem, kernel, p, clip, scratch),
         }
+    }
+}
+
+/// Scatter-engine tallies (`obs` feature only): counters behind the
+/// paper's skipped-zero argument — voxels the PB-SYM engine actually
+/// writes vs the clipped bounding boxes a naive scatter would visit.
+/// Handles are cached per call site, so steady state is one `Relaxed`
+/// `fetch_add` per counter per point.
+#[cfg(feature = "obs")]
+mod tally {
+    use super::{Chord, VoxelRange};
+    use stkde_obs::names;
+
+    pub(super) fn point(r: VoxelRange) {
+        stkde_obs::counter!(names::SCATTER_POINTS).inc();
+        stkde_obs::counter!(names::SCATTER_BOX_VOXELS).add(r.volume() as u64);
+    }
+
+    pub(super) fn sym_scatter(chords: &[Chord], planes: usize) {
+        let mut rows = 0u64;
+        let mut chord_voxels = 0u64;
+        for c in chords {
+            if !c.is_empty() {
+                rows += 1;
+                chord_voxels += c.len() as u64;
+            }
+        }
+        stkde_obs::counter!(names::SCATTER_CHORD_ROWS).add(rows);
+        stkde_obs::counter!(names::SCATTER_VOXELS_WRITTEN).add(chord_voxels * planes as u64);
     }
 }
 

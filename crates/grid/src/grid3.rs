@@ -114,6 +114,14 @@ impl<S: Scalar> Grid3<S> {
         self.data[i] += v;
     }
 
+    /// Heap bytes held by the backing storage (capacity, not length —
+    /// what the allocator actually charged). The serve tier reports
+    /// this as the `stkde_cube_bytes` gauge.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<S>()
+    }
+
     /// The full backing slice in layout order.
     #[inline]
     pub fn as_slice(&self) -> &[S] {

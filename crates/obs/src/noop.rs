@@ -1,0 +1,138 @@
+//! Feature-off twins of the live API: every handle is a zero-sized
+//! unit, every method an empty inlineable body, so instrumented call
+//! sites compile to nothing. Signatures mirror `registry`/`trace`
+//! exactly — the two builds must be drop-in interchangeable.
+
+use crate::{Kind, SpanRecord};
+
+/// No-op counter (feature `obs` disabled).
+#[derive(Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn add_release(&self, _n: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn sub_release(&self, _n: u64) {}
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+    /// Always 0.
+    #[inline(always)]
+    pub fn get_acquire(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge (feature `obs` disabled).
+#[derive(Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram (feature `obs` disabled).
+#[derive(Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn observe(&self, _v: f64) {}
+    /// Always 0.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+    /// Always 0.
+    #[inline(always)]
+    pub fn sum(&self) -> f64 {
+        0.0
+    }
+    /// Always 0.
+    #[inline(always)]
+    pub fn quantile(&self, _q: f64) -> f64 {
+        0.0
+    }
+}
+
+/// No-op registry (feature `obs` disabled).
+#[derive(Default)]
+pub struct Registry;
+
+impl Registry {
+    /// An inert registry.
+    pub fn new() -> Self {
+        Registry
+    }
+    /// No-op.
+    #[inline(always)]
+    pub fn describe(&self, _name: &str, _kind: Kind, _help: &str) {}
+    /// A no-op counter.
+    #[inline(always)]
+    pub fn counter(&self, _name: &str, _labels: &[(&str, &str)]) -> Counter {
+        Counter
+    }
+    /// A no-op gauge.
+    #[inline(always)]
+    pub fn gauge(&self, _name: &str, _labels: &[(&str, &str)]) -> Gauge {
+        Gauge
+    }
+    /// A no-op histogram.
+    #[inline(always)]
+    pub fn histogram(&self, _name: &str, _labels: &[(&str, &str)]) -> Histogram {
+        Histogram
+    }
+    /// Always the empty string.
+    #[inline(always)]
+    pub fn render(&self) -> String {
+        String::new()
+    }
+}
+
+/// The process-global (inert) registry.
+#[inline(always)]
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry;
+    &GLOBAL
+}
+
+/// No-op span guard (feature `obs` disabled).
+#[must_use = "a span measures until the guard drops; binding it to _ closes it immediately"]
+pub struct SpanGuard;
+
+/// Open a no-op span.
+#[inline(always)]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn recent_spans() -> Vec<SpanRecord> {
+    Vec::new()
+}
+
+/// Always the empty JSON array.
+#[inline(always)]
+pub fn trace_json() -> String {
+    "[]".to_string()
+}

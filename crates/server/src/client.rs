@@ -84,12 +84,32 @@ impl Client {
         self.request("POST", path, Some(body.encode()))
     }
 
+    /// `GET path`, returning the status code and the body as raw text —
+    /// for non-JSON endpoints (`/metrics` is Prometheus text).
+    pub fn get_text(&self, path_and_query: &str) -> Result<(u16, String), ClientError> {
+        let raw = self.request_raw("GET", path_and_query, None)?;
+        let (status, body) = split_response(&raw)?;
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ClientError::BadResponse("non-UTF-8 body".into()))?;
+        Ok((status, text.to_string()))
+    }
+
     fn request(
         &self,
         method: &str,
         path: &str,
         body: Option<String>,
     ) -> Result<(u16, Json), ClientError> {
+        let raw = self.request_raw(method, path, body)?;
+        parse_response(&raw)
+    }
+
+    fn request_raw(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> Result<Vec<u8>, ClientError> {
         let mut stream = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT)?;
         stream.set_read_timeout(Some(IO_TIMEOUT))?;
         stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -111,11 +131,12 @@ impl Client {
 
         let mut raw = Vec::new();
         stream.read_to_end(&mut raw)?;
-        parse_response(&raw)
+        Ok(raw)
     }
 }
 
-fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
+/// Split a raw HTTP response into status code and body bytes.
+fn split_response(raw: &[u8]) -> Result<(u16, &[u8]), ClientError> {
     let head_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -134,7 +155,11 @@ fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
             )))
         }
     };
-    let body = &raw[head_end + 4..];
+    Ok((status, &raw[head_end + 4..]))
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
+    let (status, body) = split_response(raw)?;
     let json = if body.is_empty() {
         Json::Null
     } else {

@@ -14,6 +14,10 @@ usage:
                                   answers 2xx
   stkde-serve check ADDR --shutdown
                                   same, then ask the daemon to stop
+  stkde-serve top ADDR            poll /metrics and print ingest/query
+                                  rates, latency quantiles, and pool
+                                  activity (--interval S, --count N;
+                                  count 0 = until interrupted)
 
 flags (defaults in parentheses):
   --dims GXxGYxGT    voxel grid dimensions (64x64x32)
@@ -30,8 +34,9 @@ flags (defaults in parentheses):
   --rebuild-every N  drift-correcting rebuild cadence in update pairs
                      (0 = never)
 
-endpoints: GET /healthz /stats /density?x=&y=&t= /region?x0=..&t1=
-           /slice?t=   POST /events /shutdown";
+endpoints: GET /healthz /stats /metrics /trace /density?x=&y=&t=
+           /region?x0=..&t1= /slice?t=   POST /events /shutdown
+           (/metrics is Prometheus text exposition; see OBSERVABILITY.md)";
 
 /// Parsed daemon configuration.
 #[derive(Debug, Clone)]

@@ -132,6 +132,34 @@ impl Response {
         Self::json(status, &Json::obj([("error", Json::from(msg.into()))]))
     }
 
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Body::Owned(body.into().into_bytes()),
+        }
+    }
+
+    /// A Prometheus text-exposition response (the `/metrics` payload).
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: Body::Owned(body.into_bytes()),
+        }
+    }
+
+    /// A response from text that is already serialized JSON (the
+    /// `/trace` payload, whose encoder lives in `stkde-obs`).
+    pub fn raw_json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: Body::Owned(body.into_bytes()),
+        }
+    }
+
     fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
         write!(
             w,

@@ -20,6 +20,8 @@
 //! |---|---|---|
 //! | `/healthz`  | GET  | liveness |
 //! | `/stats`    | GET  | ingest/serve/cache counters |
+//! | `/metrics`  | GET  | Prometheus text exposition (see OBSERVABILITY.md) |
+//! | `/trace`    | GET  | recent spans from the trace ring |
 //! | `/density`  | GET  | one voxel (`x`, `y`, `t`) |
 //! | `/region`   | GET  | aggregate over a voxel box |
 //! | `/slice`    | GET  | one time plane (`t`) |
@@ -59,8 +61,24 @@ pub mod client;
 pub mod config;
 pub mod http;
 pub mod json;
+pub(crate) mod metrics;
 pub mod routes;
 pub mod service;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! The obs registry is process-global, so counters accumulate across
+    //! every service a test binary starts. Tests that assert on counter
+    //! deltas hold this lock so a concurrently running test cannot skew
+    //! the delta between their before/after reads.
+    use std::sync::{Mutex, MutexGuard};
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 pub use client::{Client, ClientError};
 pub use config::{ServerConfig, USAGE};
@@ -95,7 +113,17 @@ impl StkdeServer {
         let http = HttpServer::serve(
             addr,
             threads,
-            Arc::new(move |req: &Request| routes::handle(&handler_service, req)),
+            Arc::new(move |req: &Request| {
+                let start = std::time::Instant::now();
+                let resp = routes::handle(&handler_service, req);
+                metrics::record_http(
+                    &req.method,
+                    &req.path,
+                    resp.status,
+                    start.elapsed().as_secs_f64(),
+                );
+                resp
+            }),
         )?;
         Ok(Self { service, http })
     }

@@ -1,0 +1,310 @@
+//! The serve tier's metric handles and family catalog.
+//!
+//! The server hard-enables `stkde-obs/obs` (observability is not
+//! optional on the operator surface), so everything here records for
+//! real. [`describe_catalog`] pre-registers every family the workspace
+//! emits — including the scatter, steal-pool, and comm families whose
+//! instrumentation lives in other crates — so a `/metrics` scrape shows
+//! the full catalog with `# HELP`/`# TYPE` lines from the first
+//! request, zero-valued until the corresponding path runs.
+//!
+//! `/stats` and `/metrics` are two renderings of the *same* registry
+//! cells (see [`ServerMetrics`]); they cannot drift.
+
+use stkde_obs::{global, names, Counter, Gauge, Histogram, Kind};
+
+/// Every handle the service records through, resolved once at startup.
+/// All handles are `Copy` references into the global registry, so the
+/// struct is freely copied into the writer thread.
+#[derive(Clone, Copy)]
+pub(crate) struct ServerMetrics {
+    /// Events accepted by `enqueue` (Release increments paired with the
+    /// Acquire load in the drain check).
+    pub received: Counter,
+    /// Events rasterized into the cube (`outcome="applied"`).
+    pub applied: Counter,
+    /// Events dropped behind the window head (`outcome="stale"`).
+    pub stale: Counter,
+    /// Events that aged out within their own batch
+    /// (`outcome="aged_in_batch"`).
+    pub aged_in_batch: Counter,
+    /// Stored events evicted by window advance.
+    pub evicted: Counter,
+    /// Write-lock acquisitions (coalesced batches applied).
+    pub batches: Counter,
+    /// Channel sends those batches coalesced.
+    pub coalesced_sends: Counter,
+    /// Full rebuilds the cube performed (eviction churn).
+    pub rebuilds: Counter,
+    /// Events per applied batch.
+    pub batch_size: Histogram,
+    /// Wall seconds per applied batch (lock + scatter).
+    pub apply_seconds: Histogram,
+    /// Events received but not yet settled.
+    pub queue_depth: Gauge,
+    /// Events per channel send in the most recent batch.
+    pub last_coalesce_ratio: Gauge,
+    /// Cube write generation.
+    pub generation: Gauge,
+    /// Events inside the sliding window.
+    pub live_events: Gauge,
+    /// Heap bytes of the density grid.
+    pub cube_bytes: Gauge,
+    /// `cached_read` hits.
+    pub cache_hits: Counter,
+    /// `cached_read` misses.
+    pub cache_misses: Counter,
+    /// Entries currently in the response cache.
+    pub cache_entries: Gauge,
+    /// Seconds since service start.
+    pub uptime: Gauge,
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ServerMetrics")
+    }
+}
+
+impl ServerMetrics {
+    /// Resolve all handles (registering the catalog first, so families
+    /// carry help text however the service is embedded).
+    pub fn new() -> Self {
+        describe_catalog();
+        let g = global();
+        ServerMetrics {
+            received: g.counter(names::INGEST_RECEIVED, &[]),
+            applied: g.counter(names::INGEST_EVENTS, &[("outcome", "applied")]),
+            stale: g.counter(names::INGEST_EVENTS, &[("outcome", "stale")]),
+            aged_in_batch: g.counter(names::INGEST_EVENTS, &[("outcome", "aged_in_batch")]),
+            evicted: g.counter(names::INGEST_EVICTIONS, &[]),
+            batches: g.counter(names::INGEST_BATCHES, &[]),
+            coalesced_sends: g.counter(names::INGEST_COALESCED_SENDS, &[]),
+            rebuilds: g.counter(names::INGEST_REBUILDS, &[]),
+            batch_size: g.histogram(names::INGEST_BATCH_SIZE, &[]),
+            apply_seconds: g.histogram(names::INGEST_APPLY_SECONDS, &[]),
+            queue_depth: g.gauge(names::INGEST_QUEUE_DEPTH, &[]),
+            last_coalesce_ratio: g.gauge(names::INGEST_LAST_COALESCE_RATIO, &[]),
+            generation: g.gauge(names::CUBE_GENERATION, &[]),
+            live_events: g.gauge(names::CUBE_LIVE_EVENTS, &[]),
+            cube_bytes: g.gauge(names::CUBE_BYTES, &[]),
+            cache_hits: g.counter(names::CACHE_HITS, &[]),
+            cache_misses: g.counter(names::CACHE_MISSES, &[]),
+            cache_entries: g.gauge(names::CACHE_ENTRIES, &[]),
+            uptime: g.gauge(names::UPTIME_SECONDS, &[]),
+        }
+    }
+
+    /// Settled events (applied + stale + aged), with the Acquire load
+    /// that pairs with the writer's Release increments.
+    pub fn settled_acquire(&self) -> u64 {
+        self.applied.get_acquire() + self.stale.get_acquire() + self.aged_in_batch.get_acquire()
+    }
+}
+
+/// Record one HTTP request into the global registry. `path` is folded
+/// onto the known endpoint set (unknown → `"other"`) and `status` onto
+/// its class, keeping label cardinality bounded no matter what clients
+/// send.
+pub(crate) fn record_http(method: &str, path: &str, status: u16, seconds: f64) {
+    let endpoint = canonical_endpoint(path);
+    let method = match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        _ => "other",
+    };
+    let status = match status {
+        200..=299 => "2xx",
+        400..=499 => "4xx",
+        500..=599 => "5xx",
+        _ => "other",
+    };
+    let g = global();
+    g.histogram(names::HTTP_REQUEST_SECONDS, &[("endpoint", endpoint)])
+        .observe(seconds);
+    g.counter(
+        names::HTTP_REQUESTS,
+        &[
+            ("endpoint", endpoint),
+            ("method", method),
+            ("status", status),
+        ],
+    )
+    .inc();
+}
+
+/// The served endpoint set, as `/metrics` label values.
+pub(crate) fn canonical_endpoint(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/trace" => "/trace",
+        "/density" => "/density",
+        "/region" => "/region",
+        "/slice" => "/slice",
+        "/events" => "/events",
+        "/shutdown" => "/shutdown",
+        _ => "other",
+    }
+}
+
+/// Pre-register every metric family the workspace emits (idempotent).
+pub(crate) fn describe_catalog() {
+    let g = global();
+    let c = Kind::Counter;
+    let ga = Kind::Gauge;
+    let h = Kind::Histogram;
+    for (name, kind, help) in [
+        (
+            names::SCATTER_POINTS,
+            c,
+            "Points pushed through the kernel_apply scatter engine.",
+        ),
+        (
+            names::SCATTER_CHORD_ROWS,
+            c,
+            "Non-empty chord rows written by the PB-SYM engine.",
+        ),
+        (
+            names::SCATTER_VOXELS_WRITTEN,
+            c,
+            "Voxels written by the PB-SYM engine (chord length x nonzero planes).",
+        ),
+        (
+            names::SCATTER_BOX_VOXELS,
+            c,
+            "Voxels in the clipped bounding boxes of scattered points; 1 - written/box is the skipped-zero fraction.",
+        ),
+        (names::POOL_STEALS, c, "Successful deque steals by worker."),
+        (
+            names::POOL_STEAL_FAILURES,
+            c,
+            "Full steal sweeps that found no work, by worker.",
+        ),
+        (names::POOL_TASKS, c, "Jobs executed by worker."),
+        (names::POOL_PARKS, c, "Workers parked on the sleep gate."),
+        (
+            names::POOL_WAKES,
+            c,
+            "Wake broadcasts issued while at least one worker slept.",
+        ),
+        (
+            names::INGEST_RECEIVED,
+            c,
+            "Events accepted into the ingest queue.",
+        ),
+        (
+            names::INGEST_EVENTS,
+            c,
+            "Settled ingest events by outcome (applied / stale / aged_in_batch).",
+        ),
+        (
+            names::INGEST_EVICTIONS,
+            c,
+            "Stored events evicted by window advance.",
+        ),
+        (
+            names::INGEST_BATCHES,
+            c,
+            "Coalesced write batches applied (one write-lock acquisition each).",
+        ),
+        (
+            names::INGEST_COALESCED_SENDS,
+            c,
+            "Channel sends coalesced into applied batches.",
+        ),
+        (names::INGEST_BATCH_SIZE, h, "Events per applied batch."),
+        (
+            names::INGEST_APPLY_SECONDS,
+            h,
+            "Wall seconds per applied batch (lock + scatter).",
+        ),
+        (
+            names::INGEST_QUEUE_DEPTH,
+            ga,
+            "Events received but not yet settled (ingest generation lag).",
+        ),
+        (
+            names::INGEST_LAST_COALESCE_RATIO,
+            ga,
+            "Events per channel send in the most recent batch.",
+        ),
+        (
+            names::INGEST_REBUILDS,
+            c,
+            "Full cube rebuilds triggered by eviction churn.",
+        ),
+        (names::CUBE_GENERATION, ga, "Cube write generation."),
+        (
+            names::CUBE_LIVE_EVENTS,
+            ga,
+            "Events inside the sliding window.",
+        ),
+        (names::CUBE_BYTES, ga, "Heap bytes of the density grid."),
+        (
+            names::HTTP_REQUESTS,
+            c,
+            "HTTP requests by endpoint, method, and status class.",
+        ),
+        (
+            names::HTTP_REQUEST_SECONDS,
+            h,
+            "HTTP request latency by endpoint.",
+        ),
+        (names::CACHE_HITS, c, "Query-cache hits."),
+        (names::CACHE_MISSES, c, "Query-cache misses."),
+        (names::CACHE_ENTRIES, ga, "Entries in the query cache."),
+        (names::COMM_MSGS_SENT, c, "Messages sent by rank."),
+        (names::COMM_BYTES_SENT, c, "Payload bytes sent by rank."),
+        (names::COMM_MSGS_RECV, c, "Messages received by rank."),
+        (names::COMM_BYTES_RECV, c, "Payload bytes received by rank."),
+        (names::COMM_FRAMES_SENT, c, "Wire frames sent by rank."),
+        (names::COMM_FRAMES_RECV, c, "Wire frames received by rank."),
+        (names::COMM_BARRIERS, c, "Barriers participated in, by rank."),
+        (
+            names::HALO_COMPUTE_SECONDS,
+            h,
+            "Rank-local scatter seconds in the halo exchange, by mode.",
+        ),
+        (
+            names::HALO_WAIT_SECONDS,
+            h,
+            "Seconds blocked waiting for neighbor halos, by mode.",
+        ),
+        (names::SPAN_SECONDS, h, "Span durations by span name."),
+        (names::UPTIME_SECONDS, ga, "Seconds since service start."),
+    ] {
+        g.describe(name, kind, help);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_renders_every_family_with_type_lines() {
+        describe_catalog();
+        let text = global().render();
+        for name in [
+            names::SCATTER_POINTS,
+            names::POOL_STEALS,
+            names::INGEST_EVENTS,
+            names::HTTP_REQUEST_SECONDS,
+            names::CACHE_HITS,
+            names::COMM_BYTES_SENT,
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn http_recording_bounds_label_cardinality() {
+        record_http("DELETE", "/nope/../../etc", 999, 0.001);
+        record_http("GET", "/healthz", 204, 0.001);
+        let text = global().render();
+        assert!(text.contains("endpoint=\"other\",method=\"other\",status=\"other\""));
+        assert!(text.contains("endpoint=\"/healthz\",method=\"GET\",status=\"2xx\""));
+    }
+}

@@ -4,6 +4,8 @@
 //! |---|---|---|
 //! | `/healthz`  | GET  | liveness + generation |
 //! | `/stats`    | GET  | ingest/serve counters |
+//! | `/metrics`  | GET  | Prometheus text exposition of the obs registry |
+//! | `/trace`    | GET  | recent spans from the obs trace ring |
 //! | `/density`  | GET  | one voxel's density (`x`, `y`, `t`) |
 //! | `/region`   | GET  | aggregate over a voxel box (`x0..t1`, default full grid) |
 //! | `/slice`    | GET  | one time plane (`t`) |
@@ -24,17 +26,26 @@ pub fn handle(svc: &DensityService, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(svc),
         ("GET", "/stats") => Response::json(200, &svc.stats_json()),
+        ("GET", "/metrics") => metrics(svc),
+        ("GET", "/trace") => Response::raw_json(200, stkde_obs::trace_json()),
         ("GET", "/density") => density(svc, req),
         ("GET", "/region") => region(svc, req),
         ("GET", "/slice") => slice(svc, req),
         ("POST", "/events") => events(svc, req),
         ("POST", "/shutdown") => shutdown(svc),
-        (_, "/healthz" | "/stats" | "/density" | "/region" | "/slice") => {
+        (_, "/healthz" | "/stats" | "/metrics" | "/trace" | "/density" | "/region" | "/slice") => {
             Response::error(405, "use GET")
         }
         (_, "/events" | "/shutdown") => Response::error(405, "use POST"),
         _ => Response::error(404, format!("no such endpoint {}", req.path)),
     }
+}
+
+fn metrics(svc: &DensityService) -> Response {
+    // Point-in-time gauges (queue depth, uptime, cache size) are pushed
+    // at scrape time; counters and histograms are always current.
+    svc.refresh_gauges();
+    Response::prometheus(stkde_obs::global().render())
 }
 
 fn healthz(svc: &DensityService) -> Response {
@@ -262,6 +273,31 @@ mod tests {
             405
         );
         assert_eq!(handle(&svc, &request("GET", "/nope", &[], "")).status, 404);
+        assert_eq!(
+            handle(&svc, &request("POST", "/metrics", &[], "")).status,
+            405
+        );
+        assert_eq!(
+            handle(&svc, &request("POST", "/trace", &[], "")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn metrics_exposes_prometheus_text_and_trace_is_json() {
+        let svc = service();
+        let resp = handle(&svc, &request("GET", "/metrics", &[], ""));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
+        let text = std::str::from_utf8(resp.body.as_bytes()).unwrap();
+        assert!(text.contains("# TYPE stkde_ingest_events_received_total counter"));
+        assert!(text.contains("# TYPE stkde_http_request_seconds histogram"));
+        assert!(text.contains("stkde_ingest_queue_depth 0"));
+
+        let trace = handle(&svc, &request("GET", "/trace", &[], ""));
+        assert_eq!(trace.status, 200);
+        let body = std::str::from_utf8(trace.body.as_bytes()).unwrap();
+        assert!(crate::json::Json::parse(body).is_ok(), "bad JSON: {body}");
     }
 
     #[test]
@@ -293,6 +329,7 @@ mod tests {
 
     #[test]
     fn events_accepts_all_three_shapes() {
+        let _serial = crate::test_support::serial();
         let svc = service();
         let single = handle(
             &svc,

@@ -15,11 +15,21 @@
 //! - **Readers** take the read lock concurrently; region and slice
 //!   results are memoized in an LRU keyed on `(query, generation)`, so a
 //!   cache entry can never outlive the cube state it was computed from.
+//!
+//! Every counter lives in the `stkde-obs` global registry (see
+//! [`crate::metrics`]), so `/stats` and `/metrics` read the same cells.
+//! Ordering discipline: the quiescence check pairs the Release
+//! increments of `received` / settling counters with Acquire loads
+//! ([`Counter::add_release`](stkde_obs::Counter::add_release) /
+//! [`Counter::get_acquire`](stkde_obs::Counter::get_acquire));
+//! everything else is Relaxed — monotone statistics where readers
+//! tolerate lag and no other memory depends on their order.
 
 use crate::cache::LruCache;
 use crate::json::Json;
+use crate::metrics::ServerMetrics;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -61,29 +71,6 @@ impl ServiceConfig {
     }
 }
 
-/// Ingest/serve counters, shared with the writer thread.
-///
-/// Ordering discipline: counters that participate in the [`settled`]
-/// quiescence check (`received`, and the settling side of `applied`/
-/// `aged_in_batch`) use Release increments paired with Acquire loads;
-/// everything else is Relaxed — monotone statistics where readers
-/// tolerate lag and no other memory depends on their order.
-#[derive(Debug, Default)]
-struct Counters {
-    /// Events accepted by `enqueue` (finite coordinates).
-    received: AtomicU64,
-    /// Events rasterized into the cube.
-    applied: AtomicU64,
-    /// Events dropped because they arrived behind the window head.
-    stale: AtomicU64,
-    /// Events that aged out within their own batch (never rasterized).
-    aged_in_batch: AtomicU64,
-    /// Stored events evicted by window advance.
-    evicted: AtomicU64,
-    /// Write-lock acquisitions (coalesced batches applied).
-    batches: AtomicU64,
-}
-
 /// The long-running density service. Cheap to share: wrap in an [`Arc`]
 /// (as [`DensityService::start`] does) and clone handles freely.
 #[derive(Debug)]
@@ -92,7 +79,7 @@ pub struct DensityService {
     tx: Mutex<Option<Sender<Vec<Point>>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
     cache: Mutex<LruCache<(String, u64), Arc<str>>>,
-    counters: Arc<Counters>,
+    metrics: ServerMetrics,
     shutdown_requested: AtomicBool,
     domain: Domain,
     window: f64,
@@ -107,17 +94,19 @@ impl DensityService {
         if let Some(n) = config.auto_rebuild_every {
             cube = cube.auto_rebuild_every(n);
         }
+        let metrics = ServerMetrics::new();
+        metrics
+            .cube_bytes
+            .set(cube.cube().grid().heap_bytes() as f64);
         let cube = Arc::new(RwLock::new(cube));
-        let counters = Arc::new(Counters::default());
         let (tx, rx) = mpsc::channel::<Vec<Point>>();
 
         let writer = {
             let cube = Arc::clone(&cube);
-            let counters = Arc::clone(&counters);
             let batch_cap = config.ingest_batch_cap.max(1);
             std::thread::Builder::new()
                 .name("stkde-ingest".into())
-                .spawn(move || writer_loop(&rx, &cube, &counters, batch_cap))
+                .spawn(move || writer_loop(&rx, &cube, metrics, batch_cap))
                 .expect("spawn ingest writer")
         };
 
@@ -126,7 +115,7 @@ impl DensityService {
             tx: Mutex::new(Some(tx)),
             writer: Mutex::new(Some(writer)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            counters,
+            metrics,
             shutdown_requested: AtomicBool::new(false),
             domain: config.domain,
             window: config.window,
@@ -156,13 +145,9 @@ impl DensityService {
         };
         // Count before sending so `is_drained` can never report quiescence
         // while this batch is still in flight.
-        self.counters
-            .received
-            .fetch_add(n as u64, Ordering::Release);
+        self.metrics.received.add_release(n as u64);
         if tx.send(events).is_err() {
-            self.counters
-                .received
-                .fetch_sub(n as u64, Ordering::Release);
+            self.metrics.received.sub_release(n as u64);
             return Err(ShutdownError);
         }
         Ok(n)
@@ -204,44 +189,53 @@ impl DensityService {
         let cube = self.cube.read();
         let full_key = (key.to_string(), cube.generation());
         if let Some(hit) = self.cache.lock().get(&full_key) {
+            self.metrics.cache_hits.inc();
             return hit;
         }
+        self.metrics.cache_misses.inc();
         let encoded: Arc<str> = compute(&cube).encode().into();
         drop(cube);
-        self.cache.lock().insert(full_key, Arc::clone(&encoded));
+        let mut cache = self.cache.lock();
+        cache.insert(full_key, Arc::clone(&encoded));
+        self.metrics.cache_entries.set(cache.len() as f64);
         encoded
     }
 
+    /// Push point-in-time values (queue depth, uptime, cache size) into
+    /// their gauges. Called on every `/stats` and `/metrics` render so
+    /// scrapes see current values, not writer-thread leftovers.
+    pub fn refresh_gauges(&self) {
+        let m = &self.metrics;
+        let received = m.received.get_acquire();
+        let settled = m.settled_acquire();
+        m.queue_depth.set(received.saturating_sub(settled) as f64);
+        m.uptime.set(self.started.elapsed().as_secs_f64());
+        m.cache_entries.set(self.cache.lock().len() as f64);
+    }
+
     /// Service counters as a JSON object (the `/stats` payload).
+    ///
+    /// Every count is read from the same `stkde-obs` registry cells that
+    /// `/metrics` renders, so the two endpoints cannot drift.
     pub fn stats_json(&self) -> Json {
+        self.refresh_gauges();
         let (live, generation, rebuilds) = {
             let cube = self.cube.read();
             (cube.len(), cube.generation(), cube.rebuilds())
         };
-        let cache = self.cache.lock();
         let dims = self.domain.dims();
-        let c = &self.counters;
+        let m = &self.metrics;
         Json::obj([
+            ("events_received", Json::from(m.received.get())),
+            ("events_applied", Json::from(m.applied.get())),
+            ("events_stale", Json::from(m.stale.get())),
+            ("events_aged_in_batch", Json::from(m.aged_in_batch.get())),
+            ("events_evicted", Json::from(m.evicted.get())),
+            ("ingest_batches", Json::from(m.batches.get())),
+            ("ingest_queue_depth", Json::from(m.queue_depth.get())),
             (
-                "events_received",
-                Json::from(c.received.load(Ordering::Relaxed)),
-            ),
-            (
-                "events_applied",
-                Json::from(c.applied.load(Ordering::Relaxed)),
-            ),
-            ("events_stale", Json::from(c.stale.load(Ordering::Relaxed))),
-            (
-                "events_aged_in_batch",
-                Json::from(c.aged_in_batch.load(Ordering::Relaxed)),
-            ),
-            (
-                "events_evicted",
-                Json::from(c.evicted.load(Ordering::Relaxed)),
-            ),
-            (
-                "ingest_batches",
-                Json::from(c.batches.load(Ordering::Relaxed)),
+                "last_batch_coalesce_ratio",
+                Json::from(m.last_coalesce_ratio.get()),
             ),
             ("live_events", Json::from(live)),
             ("generation", Json::from(generation)),
@@ -255,9 +249,9 @@ impl DensityService {
                     ("gt", Json::from(dims.gt)),
                 ]),
             ),
-            ("cache_entries", Json::from(cache.len())),
-            ("cache_hits", Json::from(cache.hits())),
-            ("cache_misses", Json::from(cache.misses())),
+            ("cache_entries", Json::from(self.cache.lock().len())),
+            ("cache_hits", Json::from(m.cache_hits.get())),
+            ("cache_misses", Json::from(m.cache_misses.get())),
             (
                 "uptime_seconds",
                 Json::from(self.started.elapsed().as_secs_f64()),
@@ -269,11 +263,8 @@ impl DensityService {
     /// stale). Lets callers await ingest quiescence without sleeping on a
     /// magic number.
     pub fn is_drained(&self) -> bool {
-        let c = &self.counters;
-        let settled = c.applied.load(Ordering::Acquire)
-            + c.stale.load(Ordering::Acquire)
-            + c.aged_in_batch.load(Ordering::Acquire);
-        settled == c.received.load(Ordering::Acquire)
+        let m = &self.metrics;
+        m.settled_acquire() == m.received.get_acquire()
     }
 
     /// Block (politely) until ingest is quiescent. Intended for tests,
@@ -330,21 +321,27 @@ impl std::error::Error for ShutdownError {}
 fn writer_loop(
     rx: &Receiver<Vec<Point>>,
     cube: &RwLock<SlidingWindowStkde<f64>>,
-    counters: &Counters,
+    m: ServerMetrics,
     batch_cap: usize,
 ) {
     while let Ok(first) = rx.recv() {
+        let _span = stkde_obs::span("ingest_batch");
         let mut batch = first;
+        let mut sends = 1u64;
         // Coalesce: drain whatever else is already queued, up to the cap,
         // so the write lock is taken once per burst instead of per event.
         while batch.len() < batch_cap {
             match rx.try_recv() {
-                Ok(mut more) => batch.append(&mut more),
+                Ok(mut more) => {
+                    sends += 1;
+                    batch.append(&mut more);
+                }
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
         }
         batch.sort_by(|a, b| a.t.total_cmp(&b.t));
 
+        let apply_start = Instant::now();
         let mut cube = cube.write();
         // Events behind the window head would trip the time-ordering
         // contract; a serving system drops them as stale instead.
@@ -352,20 +349,24 @@ fn writer_loop(
             Some(newest) => batch.partition_point(|p| p.t < newest),
             None => 0,
         };
+        let rebuilds_before = cube.rebuilds();
         let result = cube.push_batch(&batch[stale..]);
+        let rebuilds_after = cube.rebuilds();
+        m.generation.set(cube.generation() as f64);
+        m.live_events.set(cube.len() as f64);
+        m.cube_bytes.set(cube.cube().grid().heap_bytes() as f64);
         drop(cube);
 
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters.stale.fetch_add(stale as u64, Ordering::Relaxed);
-        counters
-            .evicted
-            .fetch_add(result.evicted as u64, Ordering::Relaxed);
-        counters
-            .aged_in_batch
-            .fetch_add(result.skipped as u64, Ordering::Release);
-        counters
-            .applied
-            .fetch_add(result.inserted as u64, Ordering::Release);
+        m.apply_seconds.observe(apply_start.elapsed().as_secs_f64());
+        m.batch_size.observe(batch.len() as f64);
+        m.last_coalesce_ratio.set(batch.len() as f64 / sends as f64);
+        m.batches.inc();
+        m.coalesced_sends.add(sends);
+        m.rebuilds.add((rebuilds_after - rebuilds_before) as u64);
+        m.stale.add_release(stale as u64);
+        m.evicted.add(result.evicted as u64);
+        m.aged_in_batch.add_release(result.skipped as u64);
+        m.applied.add_release(result.inserted as u64);
     }
 }
 
@@ -392,6 +393,12 @@ mod tests {
         panic!("ingest did not drain");
     }
 
+    // NOTE: the obs registry is process-global, so counter values in
+    // these tests are cumulative across services in the same test
+    // binary. Tests assert on per-service quantities (drain, deltas,
+    // stats keys whose gauges are service-scoped), never on absolute
+    // global counter values.
+
     #[test]
     fn enqueue_applies_and_generation_advances() {
         let svc = DensityService::start(config());
@@ -406,7 +413,11 @@ mod tests {
 
     #[test]
     fn non_finite_and_stale_events_are_dropped_not_fatal() {
+        let _serial = crate::test_support::serial();
         let svc = DensityService::start(config());
+        let before = svc.stats_json();
+        let stale0 = before.get("events_stale").unwrap().as_u64().unwrap();
+        let applied0 = before.get("events_applied").unwrap().as_u64().unwrap();
         let accepted = svc
             .enqueue(vec![
                 Point::new(f64::NAN, 1.0, 1.0),
@@ -419,8 +430,14 @@ mod tests {
         svc.enqueue(vec![Point::new(4.0, 4.0, 1.0)]).unwrap();
         drain(&svc);
         let stats = svc.stats_json();
-        assert_eq!(stats.get("events_stale").unwrap().as_u64(), Some(1));
-        assert_eq!(stats.get("events_applied").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            stats.get("events_stale").unwrap().as_u64(),
+            Some(stale0 + 1)
+        );
+        assert_eq!(
+            stats.get("events_applied").unwrap().as_u64(),
+            Some(applied0 + 1)
+        );
         assert_eq!(stats.get("live_events").unwrap().as_u64(), Some(1));
     }
 
@@ -449,7 +466,12 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_events_then_rejects() {
+        let _serial = crate::test_support::serial();
         let svc = DensityService::start(config());
+        let batches0 = {
+            let stats = svc.stats_json();
+            stats.get("ingest_batches").unwrap().as_u64().unwrap()
+        };
         for k in 0..50 {
             svc.enqueue(vec![Point::new(8.0, 8.0, 0.1 * k as f64)])
                 .unwrap();
@@ -466,6 +488,17 @@ mod tests {
         let stats = svc.stats_json();
         // Coalescing: 50 sends must need far fewer lock acquisitions.
         let batches = stats.get("ingest_batches").unwrap().as_u64().unwrap();
-        assert!(batches <= 50);
+        assert!(batches - batches0 <= 50);
+        // The drained queue reports zero depth, and the writer recorded a
+        // coalesce ratio for its final batch.
+        assert_eq!(stats.get("ingest_queue_depth").unwrap().as_f64(), Some(0.0));
+        assert!(
+            stats
+                .get("last_batch_coalesce_ratio")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                >= 1.0
+        );
     }
 }

@@ -85,6 +85,8 @@ impl SleepGate {
         if self.sleepers.load(Ordering::Relaxed) == 0 {
             return;
         }
+        #[cfg(feature = "obs")]
+        obs::wake();
         yield_point("gate::notify:bump_epoch");
         self.epoch.fetch_add(1, Ordering::SeqCst);
         let _guard = self.mutex.lock().unwrap();
@@ -258,6 +260,8 @@ impl Registry {
             self.gate.cancel_park();
             return Some(job);
         }
+        #[cfg(feature = "obs")]
+        obs::park();
         self.gate.park(ticket, Duration::from_millis(500));
         None
     }
@@ -270,6 +274,9 @@ pub(crate) struct WorkerThread {
     index: usize,
     /// xorshift state for randomized steal order.
     rng: Cell<u64>,
+    /// Cached per-worker metric handles (`worker="<index>"` labels).
+    #[cfg(feature = "obs")]
+    obs: obs::WorkerObs,
 }
 
 thread_local! {
@@ -313,6 +320,13 @@ impl WorkerThread {
         unsafe { self.registry.deques[self.index].pop() }
     }
 
+    /// One job executed by this worker (no-op without `obs`).
+    #[inline]
+    fn note_task(&self) {
+        #[cfg(feature = "obs")]
+        self.obs.tasks.inc();
+    }
+
     fn next_rand(&self) -> u64 {
         let mut x = self.rng.get();
         x ^= x << 13;
@@ -342,7 +356,11 @@ impl WorkerThread {
                     continue;
                 }
                 match self.registry.deques[victim].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        #[cfg(feature = "obs")]
+                        self.obs.steals.inc();
+                        return Some(job);
+                    }
                     Steal::Retry => contended = true,
                     Steal::Empty => {}
                 }
@@ -353,6 +371,8 @@ impl WorkerThread {
                 }
             }
             if !contended {
+                #[cfg(feature = "obs")]
+                self.obs.steal_failures.inc();
                 return None;
             }
             std::hint::spin_loop();
@@ -375,6 +395,7 @@ impl WorkerThread {
         let mut idle_rounds = 0u32;
         while cond() {
             if let Some(job) = self.pop().or_else(|| self.find_work(false)) {
+                self.note_task();
                 // SAFETY: a ref obtained from a deque is pending and alive.
                 unsafe { job.execute() };
                 idle_rounds = 0;
@@ -399,24 +420,69 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
         registry,
         index,
         rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1)),
+        #[cfg(feature = "obs")]
+        obs: obs::WorkerObs::new(index),
     };
     WORKER.with(|cell| cell.set(&worker));
     loop {
         if let Some(job) = worker.pop() {
+            worker.note_task();
             // SAFETY: a ref obtained from a deque is pending and alive.
             unsafe { job.execute() };
             continue;
         }
         if let Some(job) = worker.find_work(true) {
+            worker.note_task();
             // SAFETY: as above.
             unsafe { job.execute() };
             continue;
         }
         if let Some(job) = worker.registry.idle_park(&worker) {
+            worker.note_task();
             // SAFETY: as above.
             unsafe { job.execute() };
         }
     }
     // Unreachable: registries live for the whole process (see module docs),
     // so workers never shut down; the OS reclaims them at exit.
+}
+
+/// Steal-pool observability (`obs` feature only): per-worker tallies of
+/// steals / failed sweeps / executed jobs, plus global park and wake
+/// counters. Each worker caches its own handles at spawn, so the hot
+/// paths pay one `Relaxed` `fetch_add` on a worker-private cell —
+/// nothing here touches the scheduling protocol.
+#[cfg(feature = "obs")]
+mod obs {
+    use stkde_obs::names;
+
+    /// Per-worker metric handles, labeled `worker="<index>"`.
+    pub(super) struct WorkerObs {
+        pub(super) steals: stkde_obs::Counter,
+        pub(super) steal_failures: stkde_obs::Counter,
+        pub(super) tasks: stkde_obs::Counter,
+    }
+
+    impl WorkerObs {
+        pub(super) fn new(index: usize) -> Self {
+            let idx = index.to_string();
+            let labels: &[(&str, &str)] = &[("worker", idx.as_str())];
+            let reg = stkde_obs::global();
+            WorkerObs {
+                steals: reg.counter(names::POOL_STEALS, labels),
+                steal_failures: reg.counter(names::POOL_STEAL_FAILURES, labels),
+                tasks: reg.counter(names::POOL_TASKS, labels),
+            }
+        }
+    }
+
+    /// A worker parked on the sleep gate.
+    pub(super) fn park() {
+        stkde_obs::counter!(names::POOL_PARKS).inc();
+    }
+
+    /// A publisher woke at least one sleeper.
+    pub(super) fn wake() {
+        stkde_obs::counter!(names::POOL_WAKES).inc();
+    }
 }

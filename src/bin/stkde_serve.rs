@@ -10,10 +10,14 @@
 //!
 //! # Probe a running daemon (used by CI), then stop it:
 //! stkde-serve check 127.0.0.1:7171 --shutdown
+//!
+//! # Watch ingest/query rates of a running daemon (scrapes /metrics):
+//! stkde-serve top 127.0.0.1:7171 --interval 2
 //! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
+use stkde_obs::scrape::{self, Sample};
 use stkde_server::json::Json;
 use stkde_server::{Client, ServerConfig, StkdeServer, USAGE};
 
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("check") => cmd_check(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => cmd_serve(&args),
     };
     match result {
@@ -152,4 +157,188 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     println!("all probes passed");
     Ok(())
+}
+
+/// Poll `/metrics` on a running daemon and print a compact dashboard:
+/// per-interval rates for the counter families, gauge snapshots, and
+/// latency quantiles estimated from the cumulative histogram buckets.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let addr = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("top needs an ADDR (host:port)\n\n{USAGE}"))?;
+    let mut interval = 2.0f64;
+    let mut count = 0usize; // 0 = until interrupted
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => {
+                let v = it.next().ok_or("missing value for --interval")?;
+                interval = v.parse().map_err(|e| format!("bad --interval: {e}"))?;
+            }
+            "--count" => {
+                let v = it.next().ok_or("missing value for --count")?;
+                count = v.parse().map_err(|e| format!("bad --count: {e}"))?;
+            }
+            other => return Err(format!("unknown top flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    if !(interval > 0.0 && interval.is_finite()) {
+        return Err("--interval must be positive".into());
+    }
+
+    let client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let mut prev: Option<(std::time::Instant, Vec<Sample>)> = None;
+    let mut polls = 0usize;
+    loop {
+        let (status, text) = client
+            .get_text("/metrics")
+            .map_err(|e| format!("GET /metrics: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET /metrics answered {status}"));
+        }
+        let now = std::time::Instant::now();
+        let samples = scrape::parse_text(&text);
+        print_top_frame(
+            addr,
+            prev.as_ref().map(|(t, s)| (*t, s.as_slice(), now)),
+            &samples,
+        );
+        prev = Some((now, samples));
+        polls += 1;
+        if count > 0 && polls >= count {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// Sum of every sample of a family (collapses labels, e.g. per-worker).
+fn total(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// Cumulative `(le, count)` buckets of a histogram, labels collapsed.
+fn buckets(samples: &[Sample], name: &str) -> Vec<(f64, u64)> {
+    let bucket_name = format!("{name}_bucket");
+    let mut by_le: Vec<(f64, f64)> = Vec::new();
+    for s in samples.iter().filter(|s| s.name == bucket_name) {
+        let Some(le) = s.label("le").and_then(scrape::parse_le) else {
+            continue;
+        };
+        match by_le.iter_mut().find(|(b, _)| b.total_cmp(&le).is_eq()) {
+            Some((_, c)) => *c += s.value,
+            None => by_le.push((le, s.value)),
+        }
+    }
+    by_le.sort_by(|a, b| a.0.total_cmp(&b.0));
+    by_le.into_iter().map(|(le, c)| (le, c as u64)).collect()
+}
+
+fn fmt_rate(delta: f64, dt: f64) -> String {
+    if dt > 0.0 {
+        format!("{:.1}/s", delta / dt)
+    } else {
+        "-".into()
+    }
+}
+
+fn fmt_secs(s: Option<f64>) -> String {
+    match s {
+        Some(v) if v < 1e-3 => format!("{:.0}µs", v * 1e6),
+        Some(v) if v < 1.0 => format!("{:.2}ms", v * 1e3),
+        Some(v) => format!("{v:.2}s"),
+        None => "-".into(),
+    }
+}
+
+/// How a frame turns a metric name into the number it displays:
+/// cumulative total on the first poll, inter-poll delta afterwards.
+type DeltaFn<'a> = Box<dyn Fn(&str) -> f64 + 'a>;
+
+fn print_top_frame(
+    addr: &str,
+    prev: Option<(std::time::Instant, &[Sample], std::time::Instant)>,
+    cur: &[Sample],
+) {
+    let (dt, delta): (f64, DeltaFn) = match prev {
+        Some((t0, old, t1)) => {
+            let dt = (t1 - t0).as_secs_f64();
+            let old: Vec<Sample> = old.to_vec();
+            (
+                dt,
+                Box::new(move |name| total(cur, name) - total(&old, name)),
+            )
+        }
+        // First poll: report cumulative totals over the daemon's uptime.
+        None => (
+            total(cur, "stkde_uptime_seconds").max(1e-9),
+            Box::new(|name| total(cur, name)),
+        ),
+    };
+    let kind = if prev.is_some() {
+        "interval"
+    } else {
+        "since start"
+    };
+    let http_p =
+        |q: f64| scrape::quantile_from_buckets(&buckets(cur, "stkde_http_request_seconds"), q);
+    let hits = total(cur, "stkde_cache_hits_total");
+    let misses = total(cur, "stkde_cache_misses_total");
+    let hit_pct = if hits + misses > 0.0 {
+        format!("{:.1}%", 100.0 * hits / (hits + misses))
+    } else {
+        "-".into()
+    };
+    let written = total(cur, "stkde_scatter_voxels_written_total");
+    let boxed = total(cur, "stkde_scatter_box_voxels_total");
+    let skip_pct = if boxed > 0.0 {
+        format!("{:.0}%", 100.0 * (1.0 - written / boxed))
+    } else {
+        "-".into()
+    };
+
+    println!("stkde-serve top — {addr} ({kind}, dt {dt:.1}s)");
+    println!(
+        "  ingest   recv {:>10}  applied {:>10}  queue {:>6.0}  coalesce {:>5.1}",
+        fmt_rate(delta("stkde_ingest_events_received_total"), dt),
+        fmt_rate(delta("stkde_ingest_events_total"), dt),
+        total(cur, "stkde_ingest_queue_depth"),
+        total(cur, "stkde_ingest_last_coalesce_ratio"),
+    );
+    println!(
+        "  cube     gen {:>9.0}  live {:>11.0}  bytes {:>9.1} MiB  rebuilds {:.0}",
+        total(cur, "stkde_cube_generation"),
+        total(cur, "stkde_cube_live_events"),
+        total(cur, "stkde_cube_bytes") / (1024.0 * 1024.0),
+        total(cur, "stkde_ingest_rebuilds_total"),
+    );
+    println!(
+        "  http     req {:>10}  p50 {:>8}  p90 {:>8}  p99 {:>8}  (cumulative quantiles)",
+        fmt_rate(delta("stkde_http_requests_total"), dt),
+        fmt_secs(http_p(0.50)),
+        fmt_secs(http_p(0.90)),
+        fmt_secs(http_p(0.99)),
+    );
+    println!(
+        "  cache    hit {hit_pct:>10}  entries {:>8.0}",
+        total(cur, "stkde_cache_entries")
+    );
+    println!(
+        "  scatter  pts {:>10}  voxels {:>9}  skipped-zero {skip_pct}",
+        fmt_rate(delta("stkde_scatter_points_total"), dt),
+        fmt_rate(delta("stkde_scatter_voxels_written_total"), dt),
+    );
+    println!(
+        "  pool     steals {:>7}  failed {:>9}  parks {:>8}  wakes {:>8}",
+        fmt_rate(delta("stkde_pool_steals_total"), dt),
+        fmt_rate(delta("stkde_pool_steal_failures_total"), dt),
+        fmt_rate(delta("stkde_pool_parks_total"), dt),
+        fmt_rate(delta("stkde_pool_wakes_total"), dt),
+    );
+    println!();
 }

@@ -35,6 +35,12 @@ pub const PROGRAM_ENV: &str = "STKDE_RANK_PROGRAM";
 /// programs (`exit_early`, `stall`).
 pub const FAIL_RANK_ENV: &str = "STKDE_RANK_FAIL_RANK";
 
+/// Env var naming a file path; when set, [`run_distmem_process`] writes
+/// the per-rank comm statistics of the run there in Prometheus text
+/// format (the same `stkde_comm_*` families `/metrics` serves). CI's
+/// distmem job sets this and uploads the dump as a job artifact.
+pub const METRICS_DUMP_ENV: &str = "STKDE_METRICS_DUMP";
+
 /// Rank-process entry: if this process was spawned as a rank, run the
 /// requested program and return its exit code; otherwise `None` (the
 /// caller is a normal invocation).
@@ -140,6 +146,13 @@ pub fn run_distmem_process(
         compute_secs.push(report.compute_secs);
         processed.push(report.processed);
     }
+    if let Ok(path) = std::env::var(METRICS_DUMP_ENV) {
+        if !path.is_empty() {
+            if let Err(e) = dump_rank_metrics(Path::new(&path), &out.stats) {
+                eprintln!("stkde-rank: cannot write {METRICS_DUMP_ENV}={path}: {e}");
+            }
+        }
+    }
     Ok(DistResult {
         grid: grid.ok_or_else(|| CommError::Protocol("no rank reported a grid".to_string()))?,
         ranks,
@@ -148,4 +161,14 @@ pub fn run_distmem_process(
         processed,
         stats: out.stats,
     })
+}
+
+/// Render the run's per-rank [`RankStats`](stkde_comm::RankStats) as
+/// Prometheus text and write them to `path`. A fresh registry is used so
+/// the dump holds exactly this run's frames/bytes — not whatever else
+/// the process-global registry accumulated.
+fn dump_rank_metrics(path: &Path, stats: &[stkde_comm::RankStats]) -> std::io::Result<()> {
+    let registry = stkde_obs::Registry::new();
+    stkde_comm::record_rank_stats(&registry, stats);
+    std::fs::write(path, registry.render())
 }
