@@ -51,6 +51,7 @@ pub mod kernel_apply;
 pub mod model;
 pub mod parallel;
 pub mod problem;
+pub mod sharded;
 pub mod sparse;
 pub mod timing;
 pub mod validate;
@@ -59,5 +60,6 @@ pub use engine::{Algorithm, Stkde, StkdeResult};
 pub use error::StkdeError;
 pub use incremental::{BatchPush, IncrementalStkde, SlidingWindowStkde};
 pub use problem::Problem;
+pub use sharded::{CubeSnapshot, ShardBatchStats, ShardPlanes, ShardedWindowStkde};
 pub use sparse::SparseResult;
 pub use timing::PhaseTimings;

@@ -1,0 +1,909 @@
+//! Temporal-slab sharding of the sliding-window cube (serve path).
+//!
+//! The serve tier's scaling problem is a single cube behind a single
+//! lock: every long read blocks ingest and vice versa. This module
+//! splits the cube into T-axis slab shards — the same balanced
+//! partition the distmem backend proved bit-identical
+//! ([`crate::distmem::slab`]) — and separates *writer state* from
+//! *published state*:
+//!
+//! - [`ShardedWindowStkde`] is writer-owned: one slab grid + scratch per
+//!   shard, mutated in place. A batch fans across shards by temporal
+//!   footprint and the per-shard applications run in parallel on the
+//!   rayon pool — slabs are disjoint memory, so no locks are involved.
+//! - [`CubeSnapshot`] is the published copy-on-write view: after each
+//!   batch the writer clones only the slabs whose *epoch* changed and
+//!   reuses the untouched `Arc`s ([`ShardedWindowStkde::publish`]).
+//!   A reader holding a snapshot sees one immutable, consistent cube —
+//!   reads never block ingest and can never observe a torn state.
+//!
+//! **Bit-identity.** The slabs partition the T axis, so every voxel has
+//! exactly one owner shard, and each shard applies the same operation
+//! sequence (evictions in eviction order, then inserts in batch order)
+//! clipped to its slab. Per-voxel contribution values are
+//! clip-independent (the scatter engine's axis tables are indexed by
+//! global coordinates), so every voxel accumulates the same values in
+//! the same order as the single-lock [`SlidingWindowStkde`] — the cubes
+//! are bit-identical, whatever the shard count. Aggregate reads
+//! preserve this too: [`CubeSnapshot::density_range`] folds slabs in
+//! ascending T through one accumulator
+//! ([`stkde_grid::stats::range_stats_into`]), reproducing the exact
+//! float summation sequence of the unsharded cube.
+//!
+//! **Epochs.** Each shard carries an epoch: the cube generation at its
+//! last content change. Epochs are drawn from the monotone generation
+//! counter, so an `(t0, t1, epoch)` triple can never repeat with
+//! different contents — not even across [`reshard`]
+//! ([`ShardedWindowStkde::reshard`]) — which makes the triple (plus the
+//! live count `n`, which scales every normalized read) a sound cache
+//! key: see [`CubeSnapshot::cache_epoch_key`].
+
+use crate::distmem::apply::apply_point_slab;
+use crate::distmem::slab;
+use crate::kernel_apply::{write_region, Scratch};
+use crate::problem::Problem;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use stkde_data::Point;
+use stkde_grid::{stats, Bandwidth, Domain, Grid3, GridDims, GridStats, Scalar, VoxelRange};
+use stkde_kernels::{Epanechnikov, SpaceTimeKernel};
+
+pub use crate::incremental::BatchPush;
+
+/// Hard ceiling on the shard count, bounding per-shard metric label
+/// cardinality and publish bookkeeping. Grids rarely have more than a
+/// few hundred T layers; past ~64 slabs the per-shard work is too small
+/// to amortize the fan-out anyway.
+pub const MAX_SHARDS: usize = 64;
+
+/// One shard's writer state: an offset slab grid plus its scatter
+/// scratch, so parallel shard application shares nothing.
+#[derive(Debug)]
+struct WriterShard<S> {
+    /// First global T layer owned (inclusive).
+    t0: usize,
+    /// One past the last global T layer owned.
+    t1: usize,
+    /// The slab accumulator: layer `l` holds global layer `t0 + l`.
+    grid: Grid3<S>,
+    /// Per-shard scatter buffers (reused across batches).
+    scratch: Scratch<S>,
+    /// Cube generation at this shard's last content change.
+    epoch: u64,
+    /// Epoch of the last published copy of this slab.
+    published_epoch: u64,
+    /// Cylinder applications that actually wrote, in the last batch.
+    last_batch_ops: u64,
+}
+
+impl<S: Scalar> WriterShard<S> {
+    fn new(dims: GridDims, t0: usize, t1: usize) -> Self {
+        Self {
+            t0,
+            t1,
+            grid: Grid3::zeros(GridDims::new(dims.gx, dims.gy, t1 - t0)),
+            scratch: Scratch::default(),
+            epoch: 0,
+            // `u64::MAX` forces the first publish to copy the (empty)
+            // slab, so a snapshot exists from generation 0.
+            published_epoch: u64::MAX,
+            last_batch_ops: 0,
+        }
+    }
+
+    /// This shard's slab as a global-coordinate voxel range.
+    fn clip(&self, dims: GridDims) -> VoxelRange {
+        VoxelRange {
+            x0: 0,
+            x1: dims.gx,
+            y0: 0,
+            y1: dims.gy,
+            t0: self.t0,
+            t1: self.t1,
+        }
+    }
+}
+
+/// One shard's published (immutable) slab: the copy-on-write unit.
+#[derive(Debug)]
+pub struct ShardPlanes<S> {
+    /// First global T layer held (inclusive).
+    pub t0: usize,
+    /// One past the last global T layer held.
+    pub t1: usize,
+    /// Cube generation at this slab's last content change.
+    pub epoch: u64,
+    /// The unnormalized slab accumulator (layer `l` = global `t0 + l`).
+    pub grid: Grid3<S>,
+}
+
+/// An immutable, consistent view of the whole sharded cube, published
+/// atomically by the writer after each batch. Cheap to hold: untouched
+/// slabs are shared `Arc`s with the previous snapshot.
+///
+/// Read methods mirror [`crate::IncrementalStkde`] exactly (same
+/// normalization, same empty-cube conventions) and are bit-identical to
+/// reads of the single-lock cube at the same state.
+#[derive(Debug)]
+pub struct CubeSnapshot<S> {
+    domain: Domain,
+    /// Live (in-window) event count — the estimator's `1/n`.
+    n: usize,
+    generation: u64,
+    rebuilds: usize,
+    newest: Option<f64>,
+    shards: Vec<Arc<ShardPlanes<S>>>,
+}
+
+impl<S: Scalar> CubeSnapshot<S> {
+    /// The domain this snapshot discretizes.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Events inside the window at publish time.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no events contribute.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The cube generation this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rebuilds performed up to publish time.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Arrival time of the newest in-window event at publish time.
+    pub fn newest_time(&self) -> Option<f64> {
+        self.newest
+    }
+
+    /// The published shard slabs, ascending in T.
+    pub fn shards(&self) -> &[Arc<ShardPlanes<S>>] {
+        &self.shards
+    }
+
+    /// The shard owning global T layer `t` (`t` must be in range).
+    fn owner(&self, t: usize) -> &ShardPlanes<S> {
+        let gt = self.domain.dims().gt;
+        &self.shards[slab::owner_of(gt, self.shards.len(), t)]
+    }
+
+    /// Normalized density at voxel `(x, y, t)` (zero when empty); the
+    /// coordinates must be inside the grid.
+    pub fn density(&self, x: usize, y: usize, t: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let plane = self.owner(t);
+        plane.grid.get(x, y, t - plane.t0).to_f64() / self.n as f64
+    }
+
+    /// Bounds-checked [`density`](Self::density), `None` outside the grid.
+    pub fn density_checked(&self, x: usize, y: usize, t: usize) -> Option<f64> {
+        if self.domain.dims().contains(x, y, t) {
+            Some(self.density(x, y, t))
+        } else {
+            None
+        }
+    }
+
+    /// Summary statistics of the normalized density inside a voxel box,
+    /// clipped to the grid — bit-identical to
+    /// [`crate::IncrementalStkde::density_range`] at the same state: the
+    /// fold continues one accumulator across slabs in ascending T, so
+    /// the float summation sequence matches the unsharded iteration.
+    pub fn density_range(&self, r: VoxelRange) -> GridStats {
+        let dims = self.domain.dims();
+        let r = r.clipped(dims);
+        let mut s = GridStats {
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+            nonzero: 0,
+            total: r.volume(),
+        };
+        if r.is_empty() {
+            s.total = 0;
+        } else {
+            for plane in self.touched(r.t0, r.t1) {
+                let local = VoxelRange {
+                    t0: r.t0.max(plane.t0) - plane.t0,
+                    t1: r.t1.min(plane.t1) - plane.t0,
+                    ..r
+                };
+                stats::range_stats_into(&plane.grid, local, &mut s);
+            }
+        }
+        if self.n == 0 {
+            // No contributions: the accumulator is identically zero and
+            // the estimator is defined as zero.
+            if s.total > 0 {
+                s.max = 0.0;
+                s.min = 0.0;
+            }
+            return s;
+        }
+        let inv_n = 1.0 / self.n as f64;
+        s.sum *= inv_n;
+        s.max *= inv_n;
+        s.min *= inv_n;
+        s
+    }
+
+    /// The normalized time plane at `t` as a row-major `Gy × Gx` vector,
+    /// or `None` when `t` is out of range.
+    pub fn density_slice(&self, t: usize) -> Option<Vec<f64>> {
+        if t >= self.domain.dims().gt {
+            return None;
+        }
+        let inv_n = if self.n == 0 {
+            0.0
+        } else {
+            1.0 / self.n as f64
+        };
+        let plane = self.owner(t);
+        Some(
+            plane
+                .grid
+                .time_slice(t - plane.t0)
+                .iter()
+                .map(|&v| v.to_f64() * inv_n)
+                .collect(),
+        )
+    }
+
+    /// The shards whose slabs intersect global layers `[t0, t1)`, in
+    /// ascending T order.
+    pub fn touched(&self, t0: usize, t1: usize) -> impl Iterator<Item = &Arc<ShardPlanes<S>>> {
+        let gt = self.domain.dims().gt;
+        slab::owners_of_layers(gt, self.shards.len(), t0, t1).map(|i| &self.shards[i])
+    }
+
+    /// A cache key fragment pinning everything a normalized read over
+    /// global layers `[t0, t1)` depends on: the live count `n` (every
+    /// normalized value scales by `1/n`) and the `(t0, t1, epoch)` of
+    /// each intersecting shard. Epochs are generations — monotone across
+    /// reshards — so a stale entry can never collide with a fresh key.
+    /// Writes that only touch *other* slabs (and keep `n` unchanged)
+    /// leave the key intact, which is the point: per-shard epoch keying
+    /// survives foreign-shard ingest where a whole-cube generation key
+    /// would invalidate everything.
+    pub fn cache_epoch_key(&self, t0: usize, t1: usize) -> String {
+        let mut key = format!("n{}", self.n);
+        for plane in self.touched(t0, t1) {
+            // Writing to a String cannot fail; ignore the fmt plumbing.
+            let _ = write!(key, ",{}-{}@{}", plane.t0, plane.t1, plane.epoch);
+        }
+        key
+    }
+
+    /// Concatenate the slabs into one full (unnormalized) grid. The
+    /// layout is T-outermost, so this is a straight copy in shard order
+    /// — used by conformance tests to compare against the single-lock
+    /// cube with `Grid3`'s bit-exact equality.
+    pub fn assemble(&self) -> Grid3<S> {
+        let dims = self.domain.dims();
+        let mut data = Vec::with_capacity(dims.gx * dims.gy * dims.gt);
+        for plane in &self.shards {
+            data.extend_from_slice(plane.grid.as_slice());
+        }
+        Grid3::from_vec(dims, data)
+    }
+}
+
+/// What a batch did to each shard (for per-shard ingest metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBatchStats {
+    /// First global T layer of the shard.
+    pub t0: usize,
+    /// One past the last global T layer of the shard.
+    pub t1: usize,
+    /// The shard's current epoch.
+    pub epoch: u64,
+    /// Cylinder applications (evictions + inserts) that intersected the
+    /// slab in the last batch.
+    pub ops: u64,
+}
+
+/// A sliding-window STKDE cube sharded into temporal slabs, with
+/// copy-on-write snapshot publication.
+///
+/// Semantics mirror [`SlidingWindowStkde`](crate::SlidingWindowStkde)
+/// exactly — same time-ordering contract, same eviction rule, same
+/// generation accounting, bit-identical voxel values (see the module
+/// docs for the argument) — but ingest applies each batch to all shards
+/// in parallel, and reads go through published [`CubeSnapshot`]s
+/// instead of locking the writer.
+#[derive(Debug)]
+pub struct ShardedWindowStkde<S, K = Epanechnikov> {
+    domain: Domain,
+    bw: Bandwidth,
+    kernel: K,
+    window: f64,
+    shards: Vec<WriterShard<S>>,
+    points: VecDeque<Point>,
+    n: usize,
+    generation: u64,
+    auto_rebuild: Option<usize>,
+    churn: usize,
+    rebuilds: usize,
+    /// Last published copy of each slab (`Arc`s shared with snapshots).
+    published: Vec<Arc<ShardPlanes<S>>>,
+}
+
+impl<S: Scalar> ShardedWindowStkde<S, Epanechnikov> {
+    /// Empty sharded window with the default Epanechnikov kernel.
+    /// `shards` is clamped to `[1, min(Gt, MAX_SHARDS)]`, so `shards = 1`
+    /// is the degenerate single-slab cube and a request larger than the
+    /// T axis cannot create empty slabs.
+    ///
+    /// # Panics
+    /// Panics if `window` is not positive and finite.
+    pub fn new(domain: Domain, bw: Bandwidth, window: f64, shards: usize) -> Self {
+        Self::with_kernel(domain, bw, window, shards, Epanechnikov)
+    }
+}
+
+impl<S: Scalar, K: SpaceTimeKernel> ShardedWindowStkde<S, K> {
+    /// Empty sharded window with an explicit kernel (see [`new`](ShardedWindowStkde::new)).
+    ///
+    /// # Panics
+    /// Panics if `window` is not positive and finite.
+    pub fn with_kernel(
+        domain: Domain,
+        bw: Bandwidth,
+        window: f64,
+        shards: usize,
+        kernel: K,
+    ) -> Self {
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive and finite"
+        );
+        let mut this = Self {
+            domain,
+            bw,
+            kernel,
+            window,
+            shards: Vec::new(),
+            points: VecDeque::new(),
+            n: 0,
+            generation: 0,
+            auto_rebuild: None,
+            churn: 0,
+            rebuilds: 0,
+            published: Vec::new(),
+        };
+        this.shards = this.make_shards(shards);
+        this
+    }
+
+    fn make_shards(&self, requested: usize) -> Vec<WriterShard<S>> {
+        let dims = self.domain.dims();
+        let size = requested.clamp(1, dims.gt.min(MAX_SHARDS));
+        (0..size)
+            .map(|rank| {
+                let (t0, t1) = slab::slab_bounds(dims.gt, size, rank);
+                WriterShard::new(dims, t0, t1)
+            })
+            .collect()
+    }
+
+    /// Enable the drift-hygiene auto-rebuild (same cadence semantics as
+    /// [`SlidingWindowStkde::auto_rebuild_every`](crate::SlidingWindowStkde::auto_rebuild_every)).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn auto_rebuild_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "auto-rebuild cadence must be >= 1");
+        self.auto_rebuild = Some(n);
+        self
+    }
+
+    /// The domain this cube discretizes.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The bandwidths in use.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bw
+    }
+
+    /// The window length in time units.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Events currently inside the window.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the window holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The in-window events, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &Point> {
+        self.points.iter()
+    }
+
+    /// Arrival time of the newest event, or `None` when empty.
+    pub fn newest_time(&self) -> Option<f64> {
+        self.points.back().map(|p| p.t)
+    }
+
+    /// Monotone mutation counter, advanced exactly like the single-lock
+    /// window's (one step per eviction, one per non-empty insert batch,
+    /// two per rebuild) — equal generations mean bit-identical cubes
+    /// *across the two implementations*.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drift-correcting rebuilds performed (manual + automatic).
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// The live shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard stats of the most recent batch (slab bounds, epoch,
+    /// applied ops), for the serve tier's per-shard metrics.
+    pub fn shard_batch_stats(&self) -> Vec<ShardBatchStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardBatchStats {
+                t0: s.t0,
+                t1: s.t1,
+                epoch: s.epoch,
+                ops: s.last_batch_ops,
+            })
+            .collect()
+    }
+
+    /// A problem description with the estimator's `1/n` stripped, signed
+    /// for insertion (+) or removal (−) — the incremental unit problem.
+    fn unit_problem(&self, sign: f64) -> Problem {
+        let mut p = Problem::new(self.domain, self.bw, 1);
+        p.norm *= sign;
+        p
+    }
+
+    /// Fan `removals` then `inserts` across all shards and apply them in
+    /// parallel, each clipped to its slab. Slabs are disjoint memory, so
+    /// the shard loop is embarrassingly parallel; within a shard the
+    /// ops apply sequentially in the given order, which is what makes
+    /// every voxel's accumulation order match the single-lock path.
+    fn apply_ops(&mut self, removals: &[Point], inserts: &[Point]) {
+        let remove = self.unit_problem(-1.0);
+        let insert = self.unit_problem(1.0);
+        let dims = self.domain.dims();
+        let kernel = &self.kernel;
+        self.shards.par_iter_mut().for_each(|shard| {
+            let clip = shard.clip(dims);
+            let mut ops = 0u64;
+            for (problem, batch) in [(&remove, removals), (&insert, inserts)] {
+                for p in batch {
+                    if write_region(problem, p, clip).is_empty() {
+                        continue;
+                    }
+                    apply_point_slab(
+                        &mut shard.grid,
+                        shard.t0,
+                        problem,
+                        kernel,
+                        p,
+                        clip,
+                        &mut shard.scratch,
+                    );
+                    ops += 1;
+                }
+            }
+            shard.last_batch_ops = ops;
+        });
+    }
+
+    /// Stamp the current generation onto every shard whose last batch
+    /// wrote something (content changed ⇒ new epoch).
+    fn bump_epochs(&mut self) {
+        let g = self.generation;
+        for shard in &mut self.shards {
+            if shard.last_batch_ops > 0 {
+                shard.epoch = g;
+            }
+        }
+    }
+
+    /// Push a time-ordered batch — the same contract and bookkeeping as
+    /// [`SlidingWindowStkde::push_batch`](crate::SlidingWindowStkde::push_batch):
+    /// evictions against the last event's cutoff, in-batch age-outs
+    /// skipped, survivors inserted, identical generation accounting.
+    ///
+    /// # Panics
+    /// Panics if the batch is not internally time-ordered or starts
+    /// before the newest event already pushed.
+    pub fn push_batch(&mut self, batch: &[Point]) -> BatchPush {
+        let Some((first, last)) = batch.first().zip(batch.last()) else {
+            for shard in &mut self.shards {
+                shard.last_batch_ops = 0;
+            }
+            return BatchPush::default();
+        };
+        if let Some(prev) = self.points.back() {
+            assert!(
+                first.t >= prev.t,
+                "stream must be time-ordered: got t={} after t={}",
+                first.t,
+                prev.t
+            );
+        }
+        assert!(
+            batch.windows(2).all(|w| w[0].t <= w[1].t),
+            "batch must be time-ordered"
+        );
+        let cutoff = last.t - self.window;
+        let mut out = BatchPush::default();
+        let mut evicted: Vec<Point> = Vec::new();
+        while let Some(old) = self.points.front() {
+            if old.t < cutoff {
+                evicted.push(*old);
+                self.points.pop_front();
+                out.evicted += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(
+            self.n >= evicted.len(),
+            "evicting more events than are live"
+        );
+        // The batch is sorted, so survivors are a suffix.
+        let split = batch.partition_point(|p| p.t < cutoff);
+        out.skipped = split;
+        let survivors = &batch[split..];
+        out.inserted = survivors.len();
+
+        self.apply_ops(&evicted, survivors);
+        self.n -= evicted.len();
+        self.n += survivors.len();
+        // Mirror the single-lock generation accounting: one step per
+        // `remove`, one per non-empty `insert_batch`.
+        self.generation += out.evicted as u64;
+        if !survivors.is_empty() {
+            self.generation += 1;
+        }
+        self.bump_epochs();
+        self.points.extend(survivors.iter().copied());
+        self.churn += out.evicted;
+        self.maybe_auto_rebuild();
+        out
+    }
+
+    fn maybe_auto_rebuild(&mut self) {
+        if let Some(n) = self.auto_rebuild {
+            if self.churn >= n {
+                self.rebuild();
+            }
+        }
+    }
+
+    /// Recompute every slab from the stored in-window points, clearing
+    /// accumulated float drift. Bit-identical to the single-lock
+    /// [`rebuild`](crate::SlidingWindowStkde::rebuild): both reduce to a
+    /// sequential re-application of the live points in storage order
+    /// onto a zeroed grid (clipped per slab here, which does not change
+    /// per-voxel values or order).
+    pub fn rebuild(&mut self) {
+        let points: Vec<Point> = self.points.iter().copied().collect();
+        self.rebuild_from(&points);
+        // Mirror the single path: `clear` (+1) then the rebuild step (+1).
+        self.generation += 2;
+        self.n = points.len();
+        self.churn = 0;
+        self.rebuilds += 1;
+        let g = self.generation;
+        for shard in &mut self.shards {
+            shard.epoch = g;
+        }
+    }
+
+    /// Zero every slab and re-apply `points` in order, clipped per shard.
+    fn rebuild_from(&mut self, points: &[Point]) {
+        let insert = self.unit_problem(1.0);
+        let dims = self.domain.dims();
+        let kernel = &self.kernel;
+        self.shards.par_iter_mut().for_each(|shard| {
+            shard.grid.as_mut_slice().fill(S::from_f64(0.0));
+            let clip = shard.clip(dims);
+            for p in points {
+                if write_region(&insert, p, clip).is_empty() {
+                    continue;
+                }
+                apply_point_slab(
+                    &mut shard.grid,
+                    shard.t0,
+                    &insert,
+                    kernel,
+                    p,
+                    clip,
+                    &mut shard.scratch,
+                );
+            }
+            shard.last_batch_ops = 0;
+        });
+    }
+
+    /// Repartition into `shards` slabs (clamped like
+    /// [`new`](ShardedWindowStkde::new)) and rebuild from the live
+    /// points. Counts as a rebuild; every new shard starts at the
+    /// post-reshard generation, so cache keys minted under the old
+    /// layout can never match the new one. Returns the actual count.
+    pub fn reshard(&mut self, shards: usize) -> usize {
+        self.shards = self.make_shards(shards);
+        self.published.clear();
+        self.rebuild();
+        self.shards.len()
+    }
+
+    /// Publish the current state as an immutable [`CubeSnapshot`]:
+    /// slabs whose epoch changed since the last publish are cloned,
+    /// untouched slabs share their previous `Arc`. One pointer swap of
+    /// the returned `Arc` hands readers a consistent whole-cube view.
+    pub fn publish(&mut self) -> Arc<CubeSnapshot<S>> {
+        // Reshard (or first publish) invalidates the published vector.
+        if self.published.len() != self.shards.len() {
+            self.published.clear();
+        }
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let current = self.published.get(i).map(|p| p.epoch);
+            if current != Some(shard.epoch) {
+                let plane = Arc::new(ShardPlanes {
+                    t0: shard.t0,
+                    t1: shard.t1,
+                    epoch: shard.epoch,
+                    grid: shard.grid.clone(),
+                });
+                if i < self.published.len() {
+                    self.published[i] = plane;
+                } else {
+                    self.published.push(plane);
+                }
+                shard.published_epoch = shard.epoch;
+            }
+        }
+        Arc::new(CubeSnapshot {
+            domain: self.domain,
+            n: self.n,
+            generation: self.generation,
+            rebuilds: self.rebuilds,
+            newest: self.newest_time(),
+            shards: self.published.clone(),
+        })
+    }
+
+    /// Total heap bytes across the writer slabs (the live cube size).
+    pub fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.grid.heap_bytes()).sum()
+    }
+
+    /// Concatenate the writer slabs into one full unnormalized grid
+    /// (T-outermost layout makes this a straight copy) — the conformance
+    /// hook for bit-exact comparison against the single-lock cube.
+    pub fn assemble(&self) -> Grid3<S> {
+        let dims = self.domain.dims();
+        let mut data = Vec::with_capacity(dims.gx * dims.gy * dims.gt);
+        for shard in &self.shards {
+            data.extend_from_slice(shard.grid.as_slice());
+        }
+        Grid3::from_vec(dims, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlidingWindowStkde;
+    use stkde_data::synth;
+    use stkde_grid::GridDims;
+
+    fn domain() -> Domain {
+        Domain::from_dims(GridDims::new(24, 20, 16))
+    }
+
+    fn bw() -> Bandwidth {
+        Bandwidth::new(3.0, 2.0)
+    }
+
+    fn stream(n: usize, seed: u64) -> Vec<Point> {
+        let mut points = synth::uniform(n, domain().extent(), seed).into_vec();
+        points.sort_by(|a, b| a.t.total_cmp(&b.t));
+        points
+    }
+
+    /// Drive sharded and single-lock windows with identical batches and
+    /// assert bit-exact agreement after every step.
+    fn conformance(shards: usize, window: f64, chunk: usize, seed: u64) {
+        let points = stream(90, seed);
+        let mut sharded = ShardedWindowStkde::<f64>::new(domain(), bw(), window, shards);
+        let mut single = SlidingWindowStkde::<f64>::new(domain(), bw(), window);
+        for batch in points.chunks(chunk) {
+            let a = sharded.push_batch(batch);
+            let b = single.push_batch(batch);
+            assert_eq!(a, b, "batch accounting must agree");
+            assert_eq!(sharded.len(), single.len());
+            assert_eq!(sharded.generation(), single.generation());
+            assert_eq!(
+                sharded.assemble(),
+                *single.cube().grid(),
+                "cubes must be bit-identical (shards={shards})"
+            );
+        }
+        sharded.rebuild();
+        single.rebuild();
+        assert_eq!(sharded.generation(), single.generation());
+        assert_eq!(sharded.assemble(), *single.cube().grid());
+    }
+
+    #[test]
+    fn bit_identical_to_single_lock_across_shard_counts() {
+        for shards in [1, 2, 3, 4, 7] {
+            conformance(shards, 4.0, 13, 41);
+        }
+    }
+
+    #[test]
+    fn bit_identical_with_heavy_eviction() {
+        conformance(4, 1.0, 7, 42);
+    }
+
+    #[test]
+    fn snapshot_reads_match_single_lock_reads() {
+        let points = stream(60, 43);
+        let mut sharded = ShardedWindowStkde::<f64>::new(domain(), bw(), 5.0, 4);
+        let mut single = SlidingWindowStkde::<f64>::new(domain(), bw(), 5.0);
+        for batch in points.chunks(11) {
+            sharded.push_batch(batch);
+            single.push_batch(batch);
+        }
+        let snap = sharded.publish();
+        assert_eq!(snap.len(), single.len());
+        assert_eq!(snap.generation(), single.generation());
+        assert_eq!(snap.assemble(), *single.cube().grid());
+        // Voxel reads.
+        for (x, y, t) in [(0, 0, 0), (12, 10, 8), (23, 19, 15), (5, 17, 3)] {
+            assert_eq!(
+                snap.density_checked(x, y, t),
+                single.cube().density_checked(x, y, t)
+            );
+        }
+        assert_eq!(snap.density_checked(99, 0, 0), None);
+        // Range aggregates — bit-identical, including boxes spanning
+        // shard boundaries.
+        for r in [
+            VoxelRange::full(domain().dims()),
+            VoxelRange {
+                x0: 2,
+                x1: 14,
+                y0: 1,
+                y1: 11,
+                t0: 3,
+                t1: 9,
+            },
+            VoxelRange {
+                x0: 0,
+                x1: 24,
+                y0: 0,
+                y1: 20,
+                t0: 7,
+                t1: 8,
+            },
+        ] {
+            assert_eq!(snap.density_range(r), single.cube().density_range(r));
+        }
+        // Inverted box: empty stats, no panic.
+        let inverted = VoxelRange {
+            x0: 5,
+            x1: 2,
+            y0: 0,
+            y1: 20,
+            t0: 0,
+            t1: 16,
+        };
+        assert_eq!(snap.density_range(inverted).total, 0);
+        // Time planes.
+        for t in 0..domain().dims().gt {
+            assert_eq!(snap.density_slice(t), single.cube().density_slice(t));
+        }
+        assert!(snap.density_slice(16).is_none());
+    }
+
+    #[test]
+    fn publish_reuses_untouched_slabs() {
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 1e6, 4);
+        // One event early in time: only the first shard(s) change.
+        cube.push_batch(&[Point::new(12.0, 10.0, 1.0)]);
+        let a = cube.publish();
+        cube.push_batch(&[Point::new(12.0, 10.0, 1.5)]);
+        let b = cube.publish();
+        assert!(
+            Arc::ptr_eq(&a.shards()[3], &b.shards()[3]),
+            "untouched slab must be shared, not copied"
+        );
+        assert!(
+            !Arc::ptr_eq(&a.shards()[0], &b.shards()[0]),
+            "touched slab must be copied"
+        );
+        // The old snapshot still reads its own state.
+        assert!(a.generation() < b.generation());
+    }
+
+    #[test]
+    fn epoch_key_ignores_foreign_slab_writes_only_when_n_is_stable() {
+        let dims = domain().dims();
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 2.0, 4);
+        cube.push_batch(&[Point::new(12.0, 10.0, 1.0)]);
+        cube.push_batch(&[Point::new(12.0, 10.0, 2.0)]);
+        let k0 = cube.publish().cache_epoch_key(12, dims.gt);
+        // Evict one + insert one, both far from the last shard: n stays
+        // 2 and the last shard's slab is untouched -> key unchanged.
+        cube.push_batch(&[Point::new(12.0, 10.0, 3.3)]);
+        let snap = cube.publish();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.cache_epoch_key(12, dims.gt), k0);
+        // An insert without eviction changes n -> key must change even
+        // though the last shard is still untouched.
+        cube.push_batch(&[Point::new(12.0, 10.0, 3.4)]);
+        assert_ne!(cube.publish().cache_epoch_key(12, dims.gt), k0);
+    }
+
+    #[test]
+    fn reshard_preserves_contents_and_advances_generation() {
+        let points = stream(40, 44);
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 6.0, 2);
+        cube.push_batch(&points);
+        let before = cube.assemble();
+        let g = cube.generation();
+        let mut reference = SlidingWindowStkde::<f64>::new(domain(), bw(), 6.0);
+        reference.push_batch(&points);
+        reference.rebuild();
+        for shards in [4, 1, 3] {
+            let actual = cube.reshard(shards);
+            assert_eq!(actual, shards);
+            // Values equal the single-lock rebuild bit-for-bit, and stay
+            // within float-drift distance of the pre-reshard state.
+            assert_eq!(cube.assemble(), *reference.cube().grid());
+            assert!(cube.assemble().max_rel_diff(&before, 1e-12) < 1e-9);
+            reference.rebuild();
+        }
+        assert!(cube.generation() > g);
+        // Requests are clamped, never zero, never past the T axis.
+        assert_eq!(cube.reshard(0), 1);
+        assert_eq!(cube.reshard(1000), domain().dims().gt.min(MAX_SHARDS));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_out_of_order_batches() {
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 2.0, 4);
+        cube.push_batch(&[Point::new(1.0, 1.0, 3.0)]);
+        cube.push_batch(&[Point::new(1.0, 1.0, 1.0)]);
+    }
+}

@@ -155,6 +155,18 @@ pub mod names {
     /// Full cube rebuilds triggered by eviction churn.
     pub const INGEST_REBUILDS: &str = "stkde_ingest_rebuilds_total";
 
+    /// Cylinder applications (inserts + evictions) that intersected a
+    /// shard's slab, labeled by `shard`.
+    pub const SHARD_INGEST_EVENTS: &str = "stkde_shard_ingest_events_total";
+    /// Copy-on-write slab publications, labeled by `shard`.
+    pub const SHARD_PUBLISHES: &str = "stkde_shard_publishes_total";
+    /// A shard's content epoch (generation at last change), by `shard`.
+    pub const SHARD_EPOCH: &str = "stkde_shard_epoch";
+    /// Time layers owned by a shard's slab, by `shard`.
+    pub const SHARD_LAYERS: &str = "stkde_shard_layers";
+    /// Live temporal-slab shards in the serve path.
+    pub const SHARD_COUNT: &str = "stkde_shard_count";
+
     /// Cube write generation (bumps on every batch/rebuild).
     pub const CUBE_GENERATION: &str = "stkde_cube_generation";
     /// Events currently inside the sliding window.

@@ -2,9 +2,15 @@
 //!
 //! Region and slice queries are the expensive reads (they touch up to the
 //! whole cube); the service caches their encoded responses keyed on the
-//! canonical query string **plus the cube's generation counter**. A write
-//! advances the generation, so stale entries can never be served — they
-//! simply stop being hit and age out of the LRU order.
+//! canonical query string **plus the per-shard epoch vector** of the
+//! slabs the query reads (and the live event count, which scales every
+//! normalized value) — see
+//! [`CubeSnapshot::cache_epoch_key`](stkde_core::CubeSnapshot::cache_epoch_key).
+//! Any write the result could observe changes the key, so stale entries
+//! can never be served — they simply stop being hit and age out of the
+//! LRU order. A write that only touched *other* shards (and left the
+//! live count unchanged) keeps the key intact, so sharding makes the
+//! cache *more* durable, not less.
 //!
 //! Capacities are tiny (tens of entries), so the cache favors simplicity:
 //! a vector ordered most-recently-used-first with linear lookup.
@@ -119,13 +125,14 @@ mod tests {
     }
 
     #[test]
-    fn generation_in_key_separates_epochs() {
-        // The service keys on (query, generation): a write that bumps the
-        // generation makes the old entry unreachable.
-        let mut c: LruCache<(String, u64), &str> = LruCache::new(8);
-        c.insert(("region".into(), 1), "old");
-        assert_eq!(c.get(&("region".into(), 2)), None);
-        c.insert(("region".into(), 2), "new");
-        assert_eq!(c.get(&("region".into(), 2)), Some("new"));
+    fn epoch_vector_in_key_separates_cube_states() {
+        // The service keys on (query, epoch-vector): a write that bumps
+        // any epoch the query touches makes the old entry unreachable,
+        // while foreign-shard writes leave the key (and the entry) alone.
+        let mut c: LruCache<(String, String), &str> = LruCache::new(8);
+        c.insert(("region".into(), "n2,0-8@3".into()), "old");
+        assert_eq!(c.get(&("region".into(), "n2,0-8@5".into())), None);
+        c.insert(("region".into(), "n2,0-8@5".into()), "new");
+        assert_eq!(c.get(&("region".into(), "n2,0-8@5".into())), Some("new"));
     }
 }

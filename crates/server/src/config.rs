@@ -31,11 +31,14 @@ flags (defaults in parentheses):
   --threads N        HTTP worker threads (available parallelism)
   --cache N          LRU capacity for region/slice responses (64)
   --batch-cap N      max events coalesced per write-lock acquisition (1024)
+  --shards N         temporal-slab shards in the serve path; clamped to
+                     the T axis (0 = $STKDE_SHARDS, else 4)
   --rebuild-every N  drift-correcting rebuild cadence in update pairs
                      (0 = never)
 
 endpoints: GET /healthz /stats /metrics /trace /density?x=&y=&t=
-           /region?x0=..&t1= /slice?t=   POST /events /shutdown
+           /region?x0=..&t1= /slice?t=
+           POST /events /reshard?shards= /shutdown
            (/metrics is Prometheus text exposition; see OBSERVABILITY.md)";
 
 /// Parsed daemon configuration.
@@ -63,6 +66,8 @@ pub struct ServerConfig {
     pub cache: usize,
     /// Max events coalesced per write-lock acquisition.
     pub batch_cap: usize,
+    /// Temporal-slab shards (`0` = `$STKDE_SHARDS`, else 4).
+    pub shards: usize,
     /// Auto-rebuild cadence (`None` = never).
     pub rebuild_every: Option<usize>,
 }
@@ -83,6 +88,7 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             cache: 64,
             batch_cap: 1024,
+            shards: 0,
             rebuild_every: None,
         }
     }
@@ -117,6 +123,7 @@ impl ServerConfig {
                 "threads" => cfg.threads = parse_num(val, "--threads")?,
                 "cache" => cfg.cache = parse_num(val, "--cache")?,
                 "batch-cap" => cfg.batch_cap = parse_num(val, "--batch-cap")?,
+                "shards" => cfg.shards = parse_num(val, "--shards")?,
                 "rebuild-every" => {
                     let n: usize = parse_num(val, "--rebuild-every")?;
                     cfg.rebuild_every = (n > 0).then_some(n);
@@ -151,6 +158,7 @@ impl ServerConfig {
         sc.auto_rebuild_every = self.rebuild_every;
         sc.cache_capacity = self.cache;
         sc.ingest_batch_cap = self.batch_cap;
+        sc.shards = self.shards;
         sc
     }
 
@@ -217,6 +225,8 @@ mod tests {
             "3",
             "--cache",
             "8",
+            "--shards",
+            "2",
             "--rebuild-every",
             "100",
         ]))
@@ -227,6 +237,8 @@ mod tests {
         let sc = cfg.service_config();
         assert_eq!(sc.cache_capacity, 8);
         assert_eq!(sc.window, 9.0);
+        assert_eq!(sc.shards, 2);
+        assert_eq!(sc.resolved_shards(), 2);
     }
 
     #[test]

@@ -2,17 +2,23 @@
 //!
 //! The paper's point is making STKDE fast enough for *interactive*
 //! exploration; this crate adds the missing serve path: a daemon that
-//! owns a [`SlidingWindowStkde`](stkde_core::SlidingWindowStkde) behind
-//! an `RwLock`, ingests events through a write-coalescing writer thread
-//! (`Θ(Hs²·Ht)` per event, N cylinders per lock acquisition), and
-//! answers read queries concurrently — the ingest-then-query split that
-//! amortizes estimation cost across many queries.
+//! owns a [`ShardedWindowStkde`](stkde_core::ShardedWindowStkde) — the
+//! cube split into temporal-slab shards — ingests events through a
+//! write-coalescing writer thread (`Θ(Hs²·Ht)` per event, N cylinders
+//! per lock acquisition, fanned across the shards in parallel), and
+//! serves reads from published copy-on-write
+//! [`CubeSnapshot`](stkde_core::CubeSnapshot)s: a read clones one `Arc`
+//! and never takes the writer's lock, so long region scans cannot stall
+//! ingest and can never observe a torn cube. This is the
+//! ingest-then-query split that amortizes estimation cost across many
+//! queries, sharded so it keeps scaling when readers and writers arrive
+//! together.
 //!
 //! Everything is in-tree and zero-dependency (the build environment has
 //! no crates.io): [`json`] is the wire format, [`http`] the HTTP/1.1
 //! server, [`client`] the matching client, [`cache`] the
-//! generation-keyed LRU, [`service`] the shared cube, and [`routes`] the
-//! endpoint table.
+//! epoch-vector-keyed LRU, [`service`] the shared cube, and [`routes`]
+//! the endpoint table.
 //!
 //! ## Endpoints
 //!
@@ -26,6 +32,7 @@
 //! | `/region`   | GET  | aggregate over a voxel box |
 //! | `/slice`    | GET  | one time plane (`t`) |
 //! | `/events`   | POST | ingest a single event or a batch |
+//! | `/reshard`  | POST | repartition into `shards` temporal slabs |
 //! | `/shutdown` | POST | graceful stop |
 //!
 //! ## In-process quick start

@@ -44,6 +44,8 @@ pub(crate) struct ServerMetrics {
     pub queue_depth: Gauge,
     /// Events per channel send in the most recent batch.
     pub last_coalesce_ratio: Gauge,
+    /// Live temporal-slab shards in the serve path.
+    pub shard_count: Gauge,
     /// Cube write generation.
     pub generation: Gauge,
     /// Events inside the sliding window.
@@ -85,6 +87,7 @@ impl ServerMetrics {
             apply_seconds: g.histogram(names::INGEST_APPLY_SECONDS, &[]),
             queue_depth: g.gauge(names::INGEST_QUEUE_DEPTH, &[]),
             last_coalesce_ratio: g.gauge(names::INGEST_LAST_COALESCE_RATIO, &[]),
+            shard_count: g.gauge(names::SHARD_COUNT, &[]),
             generation: g.gauge(names::CUBE_GENERATION, &[]),
             live_events: g.gauge(names::CUBE_LIVE_EVENTS, &[]),
             cube_bytes: g.gauge(names::CUBE_BYTES, &[]),
@@ -99,6 +102,35 @@ impl ServerMetrics {
     /// that pairs with the writer's Release increments.
     pub fn settled_acquire(&self) -> u64 {
         self.applied.get_acquire() + self.stale.get_acquire() + self.aged_in_batch.get_acquire()
+    }
+}
+
+/// The per-shard metric handles for one shard index. Shard labels are
+/// dynamic (the shard count can change at runtime via `/reshard`), so
+/// these resolve through the registry per call instead of being cached
+/// in [`ServerMetrics`]; the writer touches them once per coalesced
+/// batch, not per event, so the registry lock is off the hot path.
+pub(crate) struct ShardMetrics {
+    /// Cylinder applications that intersected this shard's slab.
+    pub ingest_events: Counter,
+    /// Copy-on-write publications of this shard's slab.
+    pub publishes: Counter,
+    /// Generation at the shard's last content change.
+    pub epoch: Gauge,
+    /// Time layers the shard owns.
+    pub layers: Gauge,
+}
+
+/// Resolve the handles for shard `idx`.
+pub(crate) fn shard_metrics(idx: usize) -> ShardMetrics {
+    let g = global();
+    let shard = idx.to_string();
+    let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+    ShardMetrics {
+        ingest_events: g.counter(names::SHARD_INGEST_EVENTS, labels),
+        publishes: g.counter(names::SHARD_PUBLISHES, labels),
+        epoch: g.gauge(names::SHARD_EPOCH, labels),
+        layers: g.gauge(names::SHARD_LAYERS, labels),
     }
 }
 
@@ -144,6 +176,7 @@ pub(crate) fn canonical_endpoint(path: &str) -> &'static str {
         "/region" => "/region",
         "/slice" => "/slice",
         "/events" => "/events",
+        "/reshard" => "/reshard",
         "/shutdown" => "/shutdown",
         _ => "other",
     }
@@ -234,6 +267,31 @@ pub(crate) fn describe_catalog() {
             names::INGEST_REBUILDS,
             c,
             "Full cube rebuilds triggered by eviction churn.",
+        ),
+        (
+            names::SHARD_INGEST_EVENTS,
+            c,
+            "Cylinder applications (inserts + evictions) intersecting a shard's slab, by shard.",
+        ),
+        (
+            names::SHARD_PUBLISHES,
+            c,
+            "Copy-on-write slab publications, by shard.",
+        ),
+        (
+            names::SHARD_EPOCH,
+            ga,
+            "Shard content epoch (cube generation at last change), by shard.",
+        ),
+        (
+            names::SHARD_LAYERS,
+            ga,
+            "Time layers owned by a shard's slab, by shard.",
+        ),
+        (
+            names::SHARD_COUNT,
+            ga,
+            "Live temporal-slab shards in the serve path.",
         ),
         (names::CUBE_GENERATION, ga, "Cube write generation."),
         (

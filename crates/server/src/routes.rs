@@ -10,10 +10,13 @@
 //! | `/region`   | GET  | aggregate over a voxel box (`x0..t1`, default full grid) |
 //! | `/slice`    | GET  | one time plane (`t`) |
 //! | `/events`   | POST | ingest one event or a batch |
+//! | `/reshard`  | POST | repartition the cube into `shards` temporal slabs |
 //! | `/shutdown` | POST | ask the daemon to stop gracefully |
 //!
-//! Region and slice responses are served through the generation-keyed LRU
-//! cache; voxel reads are cheap enough to always hit the cube.
+//! All reads serve from the published copy-on-write snapshot — they
+//! never take the writer's cube lock. Region and slice responses are
+//! additionally memoized in the epoch-vector-keyed LRU cache; voxel
+//! reads are cheap enough to always hit the snapshot.
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -32,11 +35,12 @@ pub fn handle(svc: &DensityService, req: &Request) -> Response {
         ("GET", "/region") => region(svc, req),
         ("GET", "/slice") => slice(svc, req),
         ("POST", "/events") => events(svc, req),
+        ("POST", "/reshard") => reshard(svc, req),
         ("POST", "/shutdown") => shutdown(svc),
         (_, "/healthz" | "/stats" | "/metrics" | "/trace" | "/density" | "/region" | "/slice") => {
             Response::error(405, "use GET")
         }
-        (_, "/events" | "/shutdown") => Response::error(405, "use POST"),
+        (_, "/events" | "/reshard" | "/shutdown") => Response::error(405, "use POST"),
         _ => Response::error(404, format!("no such endpoint {}", req.path)),
     }
 }
@@ -124,8 +128,8 @@ fn region(svc: &DensityService, req: &Request) -> Response {
         "region:{}-{},{}-{},{}-{}",
         clipped.x0, clipped.x1, clipped.y0, clipped.y1, clipped.t0, clipped.t1
     );
-    let body = svc.cached_read(&key, |cube| {
-        let s = cube.cube().density_range(clipped);
+    let body = svc.cached_read(&key, clipped.t0, clipped.t1, |snap| {
+        let s = snap.density_range(clipped);
         let empty = s.total == 0;
         Json::obj([
             ("x0", Json::from(clipped.x0)),
@@ -140,7 +144,7 @@ fn region(svc: &DensityService, req: &Request) -> Response {
             ("min", if empty { Json::Null } else { Json::from(s.min) }),
             ("nonzero", Json::from(s.nonzero)),
             ("voxels", Json::from(s.total)),
-            ("generation", Json::from(cube.generation())),
+            ("generation", Json::from(snap.generation())),
         ])
     });
     Response::json_body(200, body)
@@ -156,9 +160,8 @@ fn slice(svc: &DensityService, req: &Request) -> Response {
         return Response::error(400, format!("t={t} outside grid {dims}"));
     }
     let key = format!("slice:{t}");
-    let body = svc.cached_read(&key, |cube| {
-        let values = cube
-            .cube()
+    let body = svc.cached_read(&key, t, t + 1, |snap| {
+        let values = snap
             .density_slice(t)
             .expect("t bounds checked above")
             .into_iter()
@@ -168,7 +171,7 @@ fn slice(svc: &DensityService, req: &Request) -> Response {
             ("t", Json::from(t)),
             ("gx", Json::from(dims.gx)),
             ("gy", Json::from(dims.gy)),
-            ("generation", Json::from(cube.generation())),
+            ("generation", Json::from(snap.generation())),
             ("values", Json::Arr(values)),
         ])
     });
@@ -222,6 +225,24 @@ fn events(svc: &DensityService, req: &Request) -> Response {
         Ok(accepted) => Response::json(202, &Json::obj([("accepted", Json::from(accepted))])),
         Err(e) => Response::error(500, e.to_string()),
     }
+}
+
+fn reshard(svc: &DensityService, req: &Request) -> Response {
+    let shards = match param_usize(req, "shards") {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    if shards == 0 {
+        return Response::error(400, "`shards` must be >= 1");
+    }
+    let actual = svc.reshard(shards);
+    Response::json(
+        200,
+        &Json::obj([
+            ("shards", Json::from(actual)),
+            ("generation", Json::from(svc.generation())),
+        ]),
+    )
 }
 
 fn shutdown(svc: &DensityService) -> Response {
@@ -281,6 +302,28 @@ mod tests {
             handle(&svc, &request("POST", "/trace", &[], "")).status,
             405
         );
+        assert_eq!(
+            handle(&svc, &request("GET", "/reshard", &[], "")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn reshard_endpoint_validates_and_repartitions() {
+        let svc = service();
+        let missing = handle(&svc, &request("POST", "/reshard", &[], ""));
+        assert_eq!(missing.status, 400);
+        let zero = handle(&svc, &request("POST", "/reshard", &[("shards", "0")], ""));
+        assert_eq!(zero.status, 400);
+        let ok = handle(&svc, &request("POST", "/reshard", &[("shards", "2")], ""));
+        assert_eq!(ok.status, 200);
+        let body = Json::parse(std::str::from_utf8(ok.body.as_bytes()).unwrap()).unwrap();
+        assert_eq!(body.get("shards").unwrap().as_u64(), Some(2));
+        assert_eq!(svc.shard_count(), 2);
+        // Oversized requests clamp to the T axis instead of erroring.
+        let clamped = handle(&svc, &request("POST", "/reshard", &[("shards", "999")], ""));
+        let body = Json::parse(std::str::from_utf8(clamped.body.as_bytes()).unwrap()).unwrap();
+        assert_eq!(body.get("shards").unwrap().as_u64(), Some(8));
     }
 
     #[test]

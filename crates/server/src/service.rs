@@ -1,5 +1,5 @@
-//! The density service: a [`SlidingWindowStkde`] shared between one
-//! writer and many readers.
+//! The density service: a temporal-slab-sharded cube with one writer,
+//! parallel per-shard ingest, and lock-free snapshot reads.
 //!
 //! The ingest-then-query split mirrors the serving architecture of
 //! temporal KDE systems: estimation cost is paid once per event on a
@@ -10,11 +10,22 @@
 //!   an unbounded channel — ingestion never blocks on the cube lock.
 //! - **The writer thread** drains the channel, sorts the drained batch by
 //!   time, drops events that arrive behind the window head (stale), and
-//!   applies the rest with [`SlidingWindowStkde::push_batch`] under a
-//!   *single* write-lock acquisition — N cylinders per lock, not one.
-//! - **Readers** take the read lock concurrently; region and slice
-//!   results are memoized in an LRU keyed on `(query, generation)`, so a
-//!   cache entry can never outlive the cube state it was computed from.
+//!   applies the rest with [`ShardedWindowStkde::push_batch`]: the batch
+//!   fans across the temporal-slab shards and each shard rasterizes its
+//!   clipped portion in parallel on the rayon pool — disjoint slabs, no
+//!   intra-batch locking.
+//! - **Readers** never touch the writer's cube. After every batch the
+//!   writer publishes a copy-on-write [`CubeSnapshot`] (only slabs whose
+//!   epoch changed are copied) and swaps one `Arc` pointer; a read
+//!   clones that `Arc` and serves from an immutable, consistent cube —
+//!   a long `/region` scan cannot block ingest and can never observe a
+//!   torn (half-applied) state. The swap happens *before* the writer
+//!   releases the cube lock, so published generations are monotone.
+//! - Region and slice results are memoized in an LRU keyed on the query
+//!   string **plus the per-shard epoch vector** of the slabs the query
+//!   touches ([`CubeSnapshot::cache_epoch_key`]): a write to a foreign
+//!   slab that leaves the live count unchanged does not evict entries,
+//!   while any write the result could see changes the key.
 //!
 //! Every counter lives in the `stkde-obs` global registry (see
 //! [`crate::metrics`]), so `/stats` and `/metrics` read the same cells.
@@ -27,14 +38,14 @@
 
 use crate::cache::LruCache;
 use crate::json::Json;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{shard_metrics, ServerMetrics};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use stkde_core::SlidingWindowStkde;
+use stkde_core::{CubeSnapshot, ShardedWindowStkde};
 use stkde_data::Point;
 use stkde_grid::{Bandwidth, Domain, GridStats, VoxelRange};
 
@@ -54,11 +65,15 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Largest coalesced batch the writer applies per lock acquisition.
     pub ingest_batch_cap: usize,
+    /// Temporal-slab shard count (`0` = the `STKDE_SHARDS` environment
+    /// variable, else 4; always clamped to the grid's T extent).
+    pub shards: usize,
 }
 
 impl ServiceConfig {
     /// A config with serving defaults: cache 64 entries, coalesce up to
-    /// 1024 events per write-lock acquisition, no auto-rebuild.
+    /// 1024 events per write-lock acquisition, no auto-rebuild, shard
+    /// count from the environment.
     pub fn new(domain: Domain, bandwidth: Bandwidth, window: f64) -> Self {
         Self {
             domain,
@@ -67,7 +82,53 @@ impl ServiceConfig {
             auto_rebuild_every: None,
             cache_capacity: 64,
             ingest_batch_cap: 1024,
+            shards: 0,
         }
+    }
+
+    /// The shard count this config resolves to (flag > env > default 4).
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::env::var("STKDE_SHARDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(4)
+    }
+}
+
+/// The writer-owned cube and the reader-facing snapshot slot, shared
+/// between the service handle and the ingest thread.
+#[derive(Debug)]
+struct CubeState {
+    cube: Mutex<ShardedWindowStkde<f64>>,
+    snapshot: RwLock<Arc<CubeSnapshot<f64>>>,
+}
+
+impl CubeState {
+    /// Publish the cube's current state and swap it into the reader
+    /// slot. **Must be called while holding the `cube` lock** — that is
+    /// what keeps published generations monotone when ingest and
+    /// reshard race. Also bumps the per-shard publish counters for
+    /// every slab that was actually recopied.
+    fn publish_and_swap(&self, cube: &mut ShardedWindowStkde<f64>) -> Arc<CubeSnapshot<f64>> {
+        let snap = cube.publish();
+        let prev = {
+            let mut slot = self.snapshot.write();
+            std::mem::replace(&mut *slot, Arc::clone(&snap))
+        };
+        for (i, plane) in snap.shards().iter().enumerate() {
+            let copied = match prev.shards().get(i) {
+                Some(old) => !Arc::ptr_eq(old, plane),
+                None => true,
+            };
+            if copied {
+                shard_metrics(i).publishes.inc();
+            }
+        }
+        snap
     }
 }
 
@@ -75,10 +136,12 @@ impl ServiceConfig {
 /// (as [`DensityService::start`] does) and clone handles freely.
 #[derive(Debug)]
 pub struct DensityService {
-    cube: Arc<RwLock<SlidingWindowStkde<f64>>>,
+    state: Arc<CubeState>,
     tx: Mutex<Option<Sender<Vec<Point>>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
-    cache: Mutex<LruCache<(String, u64), Arc<str>>>,
+    /// Keyed on `(query string, epoch-vector key)` — see
+    /// [`CubeSnapshot::cache_epoch_key`].
+    cache: Mutex<LruCache<(String, String), Arc<str>>>,
     metrics: ServerMetrics,
     shutdown_requested: AtomicBool,
     domain: Domain,
@@ -87,31 +150,44 @@ pub struct DensityService {
 }
 
 impl DensityService {
-    /// Build the cube, spawn the writer thread, and return the service.
+    /// Build the sharded cube, publish its empty snapshot, spawn the
+    /// writer thread, and return the service.
     pub fn start(config: ServiceConfig) -> Arc<Self> {
-        let mut cube =
-            SlidingWindowStkde::<f64>::new(config.domain, config.bandwidth, config.window);
+        let mut cube = ShardedWindowStkde::<f64>::new(
+            config.domain,
+            config.bandwidth,
+            config.window,
+            config.resolved_shards(),
+        );
         if let Some(n) = config.auto_rebuild_every {
             cube = cube.auto_rebuild_every(n);
         }
         let metrics = ServerMetrics::new();
-        metrics
-            .cube_bytes
-            .set(cube.cube().grid().heap_bytes() as f64);
-        let cube = Arc::new(RwLock::new(cube));
+        metrics.cube_bytes.set(cube.heap_bytes() as f64);
+        metrics.shard_count.set(cube.shard_count() as f64);
+        for (i, s) in cube.shard_batch_stats().iter().enumerate() {
+            let m = shard_metrics(i);
+            m.epoch.set(s.epoch as f64);
+            m.layers.set((s.t1 - s.t0) as f64);
+        }
+        let snapshot = cube.publish();
+        let state = Arc::new(CubeState {
+            cube: Mutex::new(cube),
+            snapshot: RwLock::new(snapshot),
+        });
         let (tx, rx) = mpsc::channel::<Vec<Point>>();
 
         let writer = {
-            let cube = Arc::clone(&cube);
+            let state = Arc::clone(&state);
             let batch_cap = config.ingest_batch_cap.max(1);
             std::thread::Builder::new()
                 .name("stkde-ingest".into())
-                .spawn(move || writer_loop(&rx, &cube, metrics, batch_cap))
+                .spawn(move || writer_loop(&rx, &state, metrics, batch_cap))
                 .expect("spawn ingest writer")
         };
 
         Arc::new(Self {
-            cube,
+            state,
             tx: Mutex::new(Some(tx)),
             writer: Mutex::new(Some(writer)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
@@ -153,48 +229,91 @@ impl DensityService {
         Ok(n)
     }
 
-    /// Run `f` against the live cube under the read lock.
-    pub fn read<R>(&self, f: impl FnOnce(&SlidingWindowStkde<f64>) -> R) -> R {
-        f(&self.cube.read())
+    /// The most recently published snapshot — one `Arc` clone, never a
+    /// lock on the writer's cube. Hold it as long as you like; it stays
+    /// internally consistent while ingest proceeds.
+    pub fn snapshot(&self) -> Arc<CubeSnapshot<f64>> {
+        Arc::clone(&self.state.snapshot.read())
     }
 
-    /// The cube's current generation (see
-    /// [`stkde_core::IncrementalStkde::generation`]).
+    /// Run `f` against the current published snapshot.
+    pub fn read<R>(&self, f: impl FnOnce(&CubeSnapshot<f64>) -> R) -> R {
+        f(&self.snapshot())
+    }
+
+    /// The in-window events, oldest first. Takes the writer's cube lock
+    /// briefly (snapshots carry the grid, not the point store), so this
+    /// is a monitoring/debug read, not a serving-path one.
+    pub fn live_points(&self) -> Vec<Point> {
+        self.state.cube.lock().points().copied().collect()
+    }
+
+    /// The published cube generation (see
+    /// [`ShardedWindowStkde::generation`]).
     pub fn generation(&self) -> u64 {
-        self.cube.read().generation()
+        self.snapshot().generation()
+    }
+
+    /// The live temporal-slab shard count.
+    pub fn shard_count(&self) -> usize {
+        self.snapshot().shards().len()
+    }
+
+    /// Repartition the cube into `shards` slabs (clamped to the grid's T
+    /// extent), rebuild, and publish. Readers holding old snapshots are
+    /// untouched; new reads see the new layout atomically. Returns the
+    /// actual shard count.
+    pub fn reshard(&self, shards: usize) -> usize {
+        let mut cube = self.state.cube.lock();
+        let actual = cube.reshard(shards);
+        self.metrics.generation.set(cube.generation() as f64);
+        self.metrics.cube_bytes.set(cube.heap_bytes() as f64);
+        self.metrics.shard_count.set(actual as f64);
+        for (i, s) in cube.shard_batch_stats().iter().enumerate() {
+            let m = shard_metrics(i);
+            m.epoch.set(s.epoch as f64);
+            m.layers.set((s.t1 - s.t0) as f64);
+        }
+        self.metrics.rebuilds.inc();
+        self.state.publish_and_swap(&mut cube);
+        actual
     }
 
     /// Bounds-checked voxel density read, plus the generation it was
     /// read at.
     pub fn density(&self, x: usize, y: usize, t: usize) -> (Option<f64>, u64) {
-        let cube = self.cube.read();
-        (cube.cube().density_checked(x, y, t), cube.generation())
+        let snap = self.snapshot();
+        (snap.density_checked(x, y, t), snap.generation())
     }
 
     /// Normalized aggregate over a voxel box (see
-    /// [`stkde_core::IncrementalStkde::density_range`]).
+    /// [`CubeSnapshot::density_range`]).
     pub fn region(&self, r: VoxelRange) -> GridStats {
-        self.cube.read().cube().density_range(r)
+        self.snapshot().density_range(r)
     }
 
-    /// Serve `key` from the LRU if the cube generation still matches,
-    /// else compute it under the read lock and memoize. The cache holds
-    /// the *encoded* response body, so a hit is one `Arc` clone — no Json
-    /// tree clone and no re-serialization per request.
+    /// Serve `key` from the LRU if the epoch vector of the shards under
+    /// global time layers `[t0, t1)` (plus the live count) still
+    /// matches, else compute against the current snapshot and memoize.
+    /// The cache holds the *encoded* response body, so a hit is one
+    /// `Arc` clone — no Json tree clone and no re-serialization — and a
+    /// write that only touched foreign slabs (without changing the live
+    /// count) does not invalidate the entry.
     pub fn cached_read(
         &self,
         key: &str,
-        compute: impl FnOnce(&SlidingWindowStkde<f64>) -> Json,
+        t0: usize,
+        t1: usize,
+        compute: impl FnOnce(&CubeSnapshot<f64>) -> Json,
     ) -> Arc<str> {
-        let cube = self.cube.read();
-        let full_key = (key.to_string(), cube.generation());
+        let snap = self.snapshot();
+        let full_key = (key.to_string(), snap.cache_epoch_key(t0, t1));
         if let Some(hit) = self.cache.lock().get(&full_key) {
             self.metrics.cache_hits.inc();
             return hit;
         }
         self.metrics.cache_misses.inc();
-        let encoded: Arc<str> = compute(&cube).encode().into();
-        drop(cube);
+        let encoded: Arc<str> = compute(&snap).encode().into();
         let mut cache = self.cache.lock();
         cache.insert(full_key, Arc::clone(&encoded));
         self.metrics.cache_entries.set(cache.len() as f64);
@@ -219,10 +338,7 @@ impl DensityService {
     /// `/metrics` renders, so the two endpoints cannot drift.
     pub fn stats_json(&self) -> Json {
         self.refresh_gauges();
-        let (live, generation, rebuilds) = {
-            let cube = self.cube.read();
-            (cube.len(), cube.generation(), cube.rebuilds())
-        };
+        let snap = self.snapshot();
         let dims = self.domain.dims();
         let m = &self.metrics;
         Json::obj([
@@ -237,9 +353,10 @@ impl DensityService {
                 "last_batch_coalesce_ratio",
                 Json::from(m.last_coalesce_ratio.get()),
             ),
-            ("live_events", Json::from(live)),
-            ("generation", Json::from(generation)),
-            ("rebuilds", Json::from(rebuilds)),
+            ("live_events", Json::from(snap.len())),
+            ("generation", Json::from(snap.generation())),
+            ("rebuilds", Json::from(snap.rebuilds())),
+            ("shards", Json::from(snap.shards().len())),
             ("window", Json::from(self.window)),
             (
                 "dims",
@@ -318,12 +435,7 @@ impl std::fmt::Display for ShutdownError {
 
 impl std::error::Error for ShutdownError {}
 
-fn writer_loop(
-    rx: &Receiver<Vec<Point>>,
-    cube: &RwLock<SlidingWindowStkde<f64>>,
-    m: ServerMetrics,
-    batch_cap: usize,
-) {
+fn writer_loop(rx: &Receiver<Vec<Point>>, state: &CubeState, m: ServerMetrics, batch_cap: usize) {
     while let Ok(first) = rx.recv() {
         let _span = stkde_obs::span("ingest_batch");
         let mut batch = first;
@@ -342,7 +454,7 @@ fn writer_loop(
         batch.sort_by(|a, b| a.t.total_cmp(&b.t));
 
         let apply_start = Instant::now();
-        let mut cube = cube.write();
+        let mut cube = state.cube.lock();
         // Events behind the window head would trip the time-ordering
         // contract; a serving system drops them as stale instead.
         let stale = match cube.newest_time() {
@@ -354,9 +466,19 @@ fn writer_loop(
         let rebuilds_after = cube.rebuilds();
         m.generation.set(cube.generation() as f64);
         m.live_events.set(cube.len() as f64);
-        m.cube_bytes.set(cube.cube().grid().heap_bytes() as f64);
+        m.cube_bytes.set(cube.heap_bytes() as f64);
+        let shard_stats = cube.shard_batch_stats();
+        // Publish before releasing the cube lock, so readers can only
+        // ever see snapshots in generation order.
+        state.publish_and_swap(&mut cube);
         drop(cube);
 
+        for (i, s) in shard_stats.iter().enumerate() {
+            let sm = shard_metrics(i);
+            sm.ingest_events.add(s.ops);
+            sm.epoch.set(s.epoch as f64);
+            sm.layers.set((s.t1 - s.t0) as f64);
+        }
         m.apply_seconds.observe(apply_start.elapsed().as_secs_f64());
         m.batch_size.observe(batch.len() as f64);
         m.last_coalesce_ratio.set(batch.len() as f64 / sends as f64);
@@ -376,11 +498,15 @@ mod tests {
     use stkde_grid::GridDims;
 
     fn config() -> ServiceConfig {
-        ServiceConfig::new(
+        let mut cfg = ServiceConfig::new(
             Domain::from_dims(GridDims::new(16, 16, 12)),
             Bandwidth::new(3.0, 2.0),
             6.0,
-        )
+        );
+        // Pin the shard count: these tests must not change shape under
+        // the CI `STKDE_SHARDS` matrix.
+        cfg.shards = 3;
+        cfg
     }
 
     fn drain(svc: &DensityService) {
@@ -442,15 +568,16 @@ mod tests {
     }
 
     #[test]
-    fn cached_read_hits_within_generation_and_misses_across() {
+    fn cached_read_hits_within_epochs_and_misses_across() {
         let svc = DensityService::start(config());
         svc.enqueue(vec![Point::new(8.0, 8.0, 2.0)]).unwrap();
         drain(&svc);
+        let gt = svc.domain().dims().gt;
         let computed = std::cell::Cell::new(0);
         let read = || {
-            svc.cached_read("k", |cube| {
+            svc.cached_read("k", 0, gt, |snap| {
                 computed.set(computed.get() + 1);
-                Json::from(cube.generation())
+                Json::from(snap.generation())
             })
         };
         let a = read();
@@ -460,8 +587,48 @@ mod tests {
         svc.enqueue(vec![Point::new(8.0, 8.0, 3.0)]).unwrap();
         drain(&svc);
         let c = read();
-        assert_ne!(a, c, "write must invalidate via the generation key");
+        assert_ne!(a, c, "write must invalidate via the epoch key");
         assert_eq!(computed.get(), 2);
+    }
+
+    #[test]
+    fn snapshot_isolates_readers_from_later_writes() {
+        let svc = DensityService::start(config());
+        svc.enqueue(vec![Point::new(8.0, 8.0, 2.0)]).unwrap();
+        drain(&svc);
+        let old = svc.snapshot();
+        let g = old.generation();
+        let d = old.density_checked(8, 8, 2);
+        svc.enqueue(vec![Point::new(8.0, 8.0, 3.5)]).unwrap();
+        drain(&svc);
+        // The held snapshot is frozen; the service has moved on.
+        assert_eq!(old.generation(), g);
+        assert_eq!(old.density_checked(8, 8, 2), d);
+        assert!(svc.generation() > g);
+        assert_ne!(svc.snapshot().density_checked(8, 8, 2), d);
+    }
+
+    #[test]
+    fn reshard_keeps_serving_identical_values() {
+        let svc = DensityService::start(config());
+        svc.enqueue(vec![
+            Point::new(8.0, 8.0, 2.0),
+            Point::new(4.0, 12.0, 7.0),
+            Point::new(10.0, 3.0, 11.0),
+        ])
+        .unwrap();
+        drain(&svc);
+        let before = svc.snapshot().assemble();
+        assert_eq!(svc.reshard(6), 6);
+        assert_eq!(svc.shard_count(), 6);
+        let after = svc.snapshot().assemble();
+        // A reshard is a rebuild: same values to within float drift (and
+        // exactly equal here, since nothing was evicted yet).
+        assert_eq!(before, after);
+        // Serving continues across the new layout.
+        svc.enqueue(vec![Point::new(8.0, 8.0, 11.5)]).unwrap();
+        drain(&svc);
+        assert!(svc.snapshot().density_checked(8, 8, 11).unwrap() > 0.0);
     }
 
     #[test]

@@ -310,6 +310,77 @@ fn concurrent_readers_during_ingest_see_monotone_generations() {
 }
 
 #[test]
+fn per_shard_counters_advance_by_delta_and_reshard_serves_identically() {
+    let _serial = serial();
+    let server = start_server(1e6);
+    let client = Client::new(server.addr());
+
+    // Per-shard ingest ops as a map keyed by shard label. Absolute
+    // values are meaningless (the registry is process-global and shared
+    // with every other server this binary started), so all assertions
+    // below are on deltas.
+    let shard_ops = || -> Vec<(String, f64)> {
+        let (_, text) = client.get_text("/metrics").unwrap();
+        stkde_obs::scrape::parse_text(&text)
+            .into_iter()
+            .filter(|s| s.name == "stkde_shard_ingest_events_total")
+            .map(|s| (s.label("shard").unwrap_or("").to_string(), s.value))
+            .collect()
+    };
+    let before = shard_ops();
+    let points = stream(50, 75);
+    post_events(&client, &points);
+    server.service().wait_drained();
+    let after = shard_ops();
+
+    let delta: f64 = after
+        .iter()
+        .map(|(label, v)| {
+            let prev = before
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            v - prev
+        })
+        .sum();
+    // Every event intersects its owner shard at least; with ht=2 most
+    // straddle a slab boundary too, so the fan-out total exceeds the
+    // event count.
+    assert!(
+        delta >= 50.0,
+        "per-shard ingest ops rose by {delta}, want >= 50"
+    );
+
+    // Resharding must not change what the server serves.
+    let reference = batch_reference(&points);
+    let probe = stats::top_k(&reference, 1)[0];
+    let ((x, y, t), want) = probe;
+    let read_density = || {
+        let (status, d) = client.get(&format!("/density?x={x}&y={y}&t={t}")).unwrap();
+        assert_eq!(status, 200);
+        d.get("density").unwrap().as_f64().unwrap()
+    };
+    let before_reshard = read_density();
+    assert!((before_reshard - want).abs() <= 1e-9 * want.abs().max(1.0));
+    for shards in [1, 5] {
+        let (status, body) = client
+            .post_json(&format!("/reshard?shards={shards}"), &Json::Null)
+            .unwrap();
+        assert_eq!(status, 200, "body: {}", body.encode());
+        assert_eq!(body.get("shards").unwrap().as_u64(), Some(shards));
+        let (_, s) = client.get("/stats").unwrap();
+        assert_eq!(s.get("shards").unwrap().as_u64(), Some(shards));
+        let got = read_density();
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "shards={shards}: density {got} vs reference {want}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
 fn metrics_endpoint_covers_every_family_on_the_live_daemon() {
     let _serial = serial();
     let server = start_server(1e6);
@@ -343,6 +414,34 @@ fn metrics_endpoint_covers_every_family_on_the_live_daemon() {
     assert!(value_of("stkde_cache_hits_total") >= 1.0);
     assert!(value_of("stkde_cache_misses_total") >= 1.0);
     assert!(value_of("stkde_cube_bytes") > 0.0);
+    // The serve path is sharded: the shard families must be live, with
+    // one series per shard label and the configured shard count.
+    let shards = ServiceConfig::new(domain(), bandwidth(), 1e6).resolved_shards();
+    assert_eq!(value_of("stkde_shard_count"), shards as f64);
+    assert!(value_of("stkde_shard_ingest_events_total") >= 40.0);
+    assert!(value_of("stkde_shard_publishes_total") >= shards as f64);
+    // Only this service's shard labels: leftover gauges from other
+    // servers in the same (registry-sharing) binary don't count.
+    let layer_sum: f64 = samples
+        .iter()
+        .filter(|s| {
+            s.name == "stkde_shard_layers"
+                && s.label("shard")
+                    .and_then(|l| l.parse::<usize>().ok())
+                    .is_some_and(|i| i < shards)
+        })
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(layer_sum, domain().dims().gt as f64, "slabs partition T");
+    for shard in 0..shards {
+        let label = shard.to_string();
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "stkde_shard_epoch" && s.label("shard") == Some(&label)),
+            "missing epoch gauge for shard {shard}"
+        );
+    }
     // The ingest path scatters through kernel_apply, so the scatter
     // family has real traffic too (the server builds core with `obs`).
     assert!(value_of("stkde_scatter_points_total") >= 40.0);

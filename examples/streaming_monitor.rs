@@ -114,9 +114,7 @@ fn main() {
     // Verify the wire path end to end: server voxel reads must match a
     // batch PB-SYM recomputation over the surviving events.
     server.service().wait_drained();
-    let survivors: Vec<Point> = server
-        .service()
-        .read(|cube| cube.points().copied().collect());
+    let survivors: Vec<Point> = server.service().live_points();
     println!("window now holds {} events", survivors.len());
     let reference = Stkde::new(domain, bw)
         .algorithm(Algorithm::PbSym)

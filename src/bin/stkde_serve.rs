@@ -340,5 +340,33 @@ fn print_top_frame(
         fmt_rate(delta("stkde_pool_parks_total"), dt),
         fmt_rate(delta("stkde_pool_wakes_total"), dt),
     );
+    print_shard_columns(cur);
     println!();
+}
+
+/// One `shards` line per live shard: slab width, content epoch, ingest
+/// ops, and publishes — the at-a-glance view of shard balance. Only
+/// labels below the live `stkde_shard_count` are shown, so stale series
+/// left over from a smaller post-reshard layout don't resurface.
+fn print_shard_columns(cur: &[Sample]) {
+    let live = total(cur, "stkde_shard_count") as usize;
+    if live == 0 {
+        return;
+    }
+    let of = |name: &str, shard: &str| -> f64 {
+        cur.iter()
+            .filter(|s| s.name == name && s.label("shard") == Some(shard))
+            .map(|s| s.value)
+            .sum()
+    };
+    for shard in 0..live {
+        let label = shard.to_string();
+        println!(
+            "  shard {shard:>2}  layers {:>5.0}  epoch {:>9.0}  ops {:>12.0}  publishes {:>9.0}",
+            of("stkde_shard_layers", &label),
+            of("stkde_shard_epoch", &label),
+            of("stkde_shard_ingest_events_total", &label),
+            of("stkde_shard_publishes_total", &label),
+        );
+    }
 }
