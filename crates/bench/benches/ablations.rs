@@ -9,13 +9,18 @@
 //!   that grows with `Hs·Ht` (Table 3's speedup column);
 //! * **Tabulated kernels** — lookup-table interpolation vs closed-form
 //!   evaluation, for a cheap polynomial kernel (no win expected) and a
-//!   transcendental one (removes `exp` from the inner loop).
+//!   transcendental one (removes `exp` from the inner loop);
+//! * **Sparse table layout** — the same simulated cylinder fill pushed
+//!   through a dense grid, the retired row-major flat block table, and
+//!   the Morton-brick table, isolating what the chunked-Morton layout
+//!   costs (or saves) on the write path relative to both neighbors.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stkde_bench::flatblock::FlatBlockGrid;
 use stkde_core::algorithms::{pb, pb_sym};
 use stkde_core::Problem;
 use stkde_data::{synth, Point};
-use stkde_grid::{Bandwidth, Domain, Grid3, GridDims, SharedGrid};
+use stkde_grid::{Bandwidth, Domain, Grid3, GridDims, SharedGrid, SparseGrid3};
 use stkde_kernels::{Epanechnikov, Tabulated, TruncatedGaussian};
 use stkde_sched::{list_schedule, TaskDag};
 
@@ -154,11 +159,69 @@ fn bench_tabulated_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sparse_table_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sparse_layout");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let dims = GridDims::new(64, 64, 32);
+    // The same synthetic cylinder fill as `ablation_write_path`, but
+    // routed through each backend's row-write primitive so the only
+    // variable is the grid data structure.
+    let disk: Vec<Vec<f64>> = (0..21)
+        .map(|y| (0..21).map(|x| ((x + y * 21) % 7) as f64 * 0.1).collect())
+        .collect();
+    let bar: Vec<f64> = (0..9).map(|i| 0.5 + i as f64 * 0.05).collect();
+
+    group.bench_function("dense_rows", |b| {
+        let mut grid: Grid3<f32> = Grid3::zeros_touched(dims);
+        b.iter(|| {
+            for (ti, kt) in bar.iter().enumerate() {
+                for (y, dr) in disk.iter().enumerate() {
+                    let row = grid.row_mut(10 + y, 10 + ti, 20, 41);
+                    for (o, &ks) in row.iter_mut().zip(dr) {
+                        *o += (ks * kt) as f32;
+                    }
+                }
+            }
+        })
+    });
+    group.bench_function("flatblock_rows", |b| {
+        let mut grid: FlatBlockGrid<f32> = FlatBlockGrid::new(dims);
+        let mut scaled = vec![0.0f64; 21];
+        b.iter(|| {
+            for (ti, &kt) in bar.iter().enumerate() {
+                for (y, dr) in disk.iter().enumerate() {
+                    for (s, &ks) in scaled.iter_mut().zip(dr) {
+                        *s = ks * kt;
+                    }
+                    grid.add_row_f64(10 + y, 10 + ti, 20, &scaled);
+                }
+            }
+        })
+    });
+    group.bench_function("morton_brick_rows", |b| {
+        let mut grid: SparseGrid3<f32> = SparseGrid3::new(dims);
+        let mut scaled = vec![0.0f64; 21];
+        b.iter(|| {
+            for (ti, &kt) in bar.iter().enumerate() {
+                for (y, dr) in disk.iter().enumerate() {
+                    for (s, &ks) in scaled.iter_mut().zip(dr) {
+                        *s = ks * kt;
+                    }
+                    grid.add_row_f64(10 + y, 10 + ti, 20, &scaled);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_row_vs_voxel_writes,
     bench_priority_ablation,
     bench_invariant_hoisting_by_bandwidth,
-    bench_tabulated_kernels
+    bench_tabulated_kernels,
+    bench_sparse_table_layout
 );
 criterion_main!(benches);

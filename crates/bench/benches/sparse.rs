@@ -1,13 +1,30 @@
-//! Criterion micro-benchmarks for the block-sparse grid extension:
-//! dense vs sparse `PB-SYM` on an init-dominated (Flu-like) and a
-//! compute-dominated (Dengue-like) miniature, plus the raw write
-//! primitives of both backends.
+//! Criterion micro-benchmarks for the Morton-brick sparse grid:
+//!
+//! * **Scatter** — dense vs sequential-sparse vs parallel-sparse `PB-SYM`
+//!   on an init-dominated (Flu-like) and a compute-dominated
+//!   (Dengue-like) miniature. `sparse/flu_scatter_par_t8` vs
+//!   `sparse/flu_scatter_seq` feeds `bench_guard`'s in-run invariant:
+//!   the shared-grid parallel path must never lose to the sequential
+//!   path it wraps.
+//! * **Reads** — the read side of a densely-populated grid through the
+//!   Morton-brick table vs the retired row-major flat block table
+//!   ([`stkde_bench::flatblock`]), identical payloads, differing only
+//!   in table layout. Guarded: Morton assembly must be no worse than
+//!   flat, and the per-voxel `get` sweep (which pays the bit-interleave
+//!   per call) stays within a sanity bound.
+//! * **Assemble** — `to_dense` of a sparse result (the export path).
+//! * **Row writes** — the `add_row_f64` primitive on both layouts.
+//!
+//! Allocation-fraction context (occupancy, bricks touched) is printed
+//! once outside the timed sections so harness logs carry the sparsity
+//! alongside the times.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use stkde_bench::flatblock::FlatBlockGrid;
 use stkde_core::algorithms::pb_sym;
 use stkde_core::{sparse, Problem};
 use stkde_data::{synth, Point};
-use stkde_grid::{Bandwidth, BlockDims, Domain, Grid3, GridDims, SparseGrid3};
+use stkde_grid::{Bandwidth, Domain, Grid3, GridDims, SparseGrid3};
 use stkde_kernels::Epanechnikov;
 
 /// Flu-like: few points scattered over a large grid — init dominates.
@@ -24,25 +41,103 @@ fn dense_instance() -> (Problem, Vec<Point>) {
     (Problem::new(domain, Bandwidth::new(6.0, 4.0), 2000), points)
 }
 
-fn bench_backends(c: &mut Criterion) {
+fn bench_scatter(c: &mut Criterion) {
     let k = Epanechnikov;
-    let mut group = c.benchmark_group("sparse_backend");
+    let mut group = c.benchmark_group("sparse");
     group.sample_size(10);
 
     let (problem, points) = sparse_instance();
-    group.bench_function("flu_like/dense_pb_sym", |b| {
+    // Allocation-fraction context for the logs (untimed).
+    {
+        let (g, _) = sparse::run::<f32, _>(&problem, &k, &points);
+        println!(
+            "flu-like sparsity: {} of {} bricks allocated ({:.2}% occupancy, \
+             {:.1} MiB sparse vs {:.1} MiB dense)",
+            g.allocated_bricks(),
+            g.table_len(),
+            100.0 * g.occupancy(),
+            g.allocated_bytes() as f64 / (1024.0 * 1024.0),
+            problem.domain.dims().bytes::<f32>() as f64 / (1024.0 * 1024.0),
+        );
+    }
+    group.bench_function("flu_dense_pb_sym", |b| {
         b.iter(|| pb_sym::run::<f32, _>(&problem, &k, &points))
     });
-    group.bench_function("flu_like/sparse_pb_sym", |b| {
+    group.bench_function("flu_scatter_seq", |b| {
         b.iter(|| sparse::run::<f32, _>(&problem, &k, &points))
+    });
+    group.bench_function("flu_scatter_par_t8", |b| {
+        b.iter(|| sparse::run_par::<f32, _>(&problem, &k, &points, 8).unwrap())
+    });
+    group.bench_function("flu_assemble_to_dense", |b| {
+        let (g, _) = sparse::run::<f32, _>(&problem, &k, &points);
+        b.iter(|| g.to_dense())
     });
 
     let (problem, points) = dense_instance();
-    group.bench_function("dengue_like/dense_pb_sym", |b| {
+    group.bench_function("dengue_dense_pb_sym", |b| {
         b.iter(|| pb_sym::run::<f32, _>(&problem, &k, &points))
     });
-    group.bench_function("dengue_like/sparse_pb_sym", |b| {
+    group.bench_function("dengue_scatter_seq", |b| {
         b.iter(|| sparse::run::<f32, _>(&problem, &k, &points))
+    });
+    group.finish();
+}
+
+/// Read side of a densely-populated 64³ volume: the regime where the
+/// old flat table was at its best (every block allocated, perfectly
+/// predictable row-major table walk).
+///
+/// Two comparisons, with different standing:
+/// - `read_assemble_*` — `to_dense()`, the assemble path the engine
+///   actually reads results through. Gated by `bench_guard`: Morton
+///   must be no worse than the flat table here.
+/// - `read_voxels_*` — a per-voxel `get` sweep. Informative: Morton
+///   pays the bit-interleave on every call, so it is held only to a
+///   loose sanity bound, not parity.
+fn bench_reads(c: &mut Criterion) {
+    let dims = GridDims::new(64, 64, 64);
+    let row: Vec<f64> = (0..dims.gx).map(|i| 0.25 + (i % 7) as f64).collect();
+    let mut morton: SparseGrid3<f32> = SparseGrid3::new(dims);
+    let mut flat: FlatBlockGrid<f32> = FlatBlockGrid::new(dims);
+    for t in 0..dims.gt {
+        for y in 0..dims.gy {
+            morton.add_row_f64(y, t, 0, &row);
+            flat.add_row_f64(y, t, 0, &row);
+        }
+    }
+    assert_eq!(morton.allocated_bricks(), flat.allocated_blocks());
+    assert_eq!(morton.to_dense(), flat.to_dense());
+
+    let mut group = c.benchmark_group("sparse");
+    group.sample_size(10);
+    group.bench_function("read_assemble_morton", |b| b.iter(|| morton.to_dense()));
+    group.bench_function("read_assemble_flatblock", |b| b.iter(|| flat.to_dense()));
+    group.bench_function("read_voxels_morton", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for t in 0..dims.gt {
+                for y in 0..dims.gy {
+                    for x in 0..dims.gx {
+                        acc += morton.get(x, y, t);
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("read_voxels_flatblock", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for t in 0..dims.gt {
+                for y in 0..dims.gy {
+                    for x in 0..dims.gx {
+                        acc += flat.get(x, y, t);
+                    }
+                }
+            }
+            acc
+        })
     });
     group.finish();
 }
@@ -50,9 +145,10 @@ fn bench_backends(c: &mut Criterion) {
 fn bench_write_primitives(c: &mut Criterion) {
     let dims = GridDims::new(256, 64, 64);
     let vals = vec![0.5f64; 64];
-    let mut group = c.benchmark_group("row_writes");
+    let mut group = c.benchmark_group("sparse");
+    group.sample_size(10);
 
-    group.bench_function("dense_row_add", |b| {
+    group.bench_function("rowwrite_dense", |b| {
         let mut g: Grid3<f32> = Grid3::zeros(dims);
         b.iter(|| {
             for t in 0..64 {
@@ -63,8 +159,16 @@ fn bench_write_primitives(c: &mut Criterion) {
             }
         })
     });
-    group.bench_function("sparse_row_add", |b| {
-        let mut g: SparseGrid3<f32> = SparseGrid3::with_blocks(dims, BlockDims::DEFAULT);
+    group.bench_function("rowwrite_morton", |b| {
+        let mut g: SparseGrid3<f32> = SparseGrid3::new(dims);
+        b.iter(|| {
+            for t in 0..64 {
+                g.add_row_f64(32, t, 64, &vals);
+            }
+        })
+    });
+    group.bench_function("rowwrite_flatblock", |b| {
+        let mut g: FlatBlockGrid<f32> = FlatBlockGrid::new(dims);
         b.iter(|| {
             for t in 0..64 {
                 g.add_row_f64(32, t, 64, &vals);
@@ -74,5 +178,5 @@ fn bench_write_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_write_primitives);
+criterion_group!(benches, bench_scatter, bench_reads, bench_write_primitives);
 criterion_main!(benches);

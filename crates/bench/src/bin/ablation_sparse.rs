@@ -1,17 +1,17 @@
-//! Ablation — dense vs block-sparse grid backend (extension).
+//! Ablation — dense vs Morton-brick sparse grid backend (extension).
 //!
 //! Figure 7 shows initialization dominating the sparse instances; §6.3
 //! shows that phase refuses to parallelize (≈3× on 16 threads). The
 //! sparse backend (`stkde_core::sparse`) removes the `Θ(G)` term instead:
 //! this harness runs dense `PB-SYM` and sparse `PB-SYM` on every catalog
-//! instance and reports total/init time, the sparse block occupancy, and
+//! instance and reports total/init time, the sparse brick occupancy, and
 //! the memory footprints.
 //!
 //! Expected shape: the sparse backend wins exactly on the instances whose
 //! Figure 7 bar is mostly Initialization (Flu, high-resolution PollenUS)
 //! and loses slightly where compute dominates and occupancy approaches 1
-//! (Dengue Hb, eBird) — the block-table indirection is pure overhead once
-//! every block is allocated anyway.
+//! (Dengue Hb, eBird) — the brick-table indirection is pure overhead once
+//! every brick is allocated anyway.
 
 use stkde_bench::{prepare_instances, runner, time_best, HarnessOpts, Table};
 use stkde_core::sparse;

@@ -1,0 +1,154 @@
+//! A replica of the *previous* sparse-grid design — a row-major flat
+//! table of lazily `Box`-allocated 8³ blocks — kept in the bench crate
+//! as the comparison baseline for the Morton-brick layout that replaced
+//! it in `stkde-grid`.
+//!
+//! The two layouts allocate the same payloads (8³ scalars per block);
+//! they differ only in *table order* (row-major here vs chunked Morton
+//! in [`stkde_grid::brick`]) and in table cell width (a `Box` option
+//! here vs an atomic pointer there). Benchmarking reads and row writes
+//! against this replica isolates exactly the layout decision:
+//! `benches/sparse.rs` drives both over identical traversals and
+//! `bench_guard` holds the Morton side to "no worse than flat" on the
+//! dense assemble path (plus a sanity bound on per-voxel sweeps).
+
+use stkde_grid::{Grid3, GridDims, Scalar};
+
+/// Block edge length, matching `stkde_grid::brick::BRICK_EDGE` so the
+/// comparison varies only the table layout, never the payload shape.
+pub const BLOCK_EDGE: usize = 8;
+/// Scalars per block.
+pub const BLOCK_VOLUME: usize = BLOCK_EDGE * BLOCK_EDGE * BLOCK_EDGE;
+
+/// The old block-sparse grid: one row-major `Option<Box<[S]>>` per 8³
+/// block, allocated on first touch.
+pub struct FlatBlockGrid<S> {
+    dims: GridDims,
+    nbx: usize,
+    nby: usize,
+    blocks: Vec<Option<Box<[S]>>>,
+}
+
+impl<S: Scalar> FlatBlockGrid<S> {
+    /// Empty grid over `dims`; no blocks allocated.
+    pub fn new(dims: GridDims) -> Self {
+        let nbx = dims.gx.div_ceil(BLOCK_EDGE);
+        let nby = dims.gy.div_ceil(BLOCK_EDGE);
+        let nbt = dims.gt.div_ceil(BLOCK_EDGE);
+        let mut blocks = Vec::new();
+        blocks.resize_with(nbx * nby * nbt, || None);
+        Self {
+            dims,
+            nbx,
+            nby,
+            blocks,
+        }
+    }
+
+    #[inline]
+    fn block_index(&self, x: usize, y: usize, t: usize) -> usize {
+        ((t / BLOCK_EDGE) * self.nby + y / BLOCK_EDGE) * self.nbx + x / BLOCK_EDGE
+    }
+
+    #[inline]
+    fn cell_offset(x: usize, y: usize, t: usize) -> usize {
+        ((t % BLOCK_EDGE) * BLOCK_EDGE + y % BLOCK_EDGE) * BLOCK_EDGE + x % BLOCK_EDGE
+    }
+
+    /// Read one voxel; unallocated blocks read as zero. Panics on
+    /// out-of-bounds coordinates, like the implementation it replicates.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, t: usize) -> S {
+        assert!(x < self.dims.gx && y < self.dims.gy && t < self.dims.gt);
+        match &self.blocks[self.block_index(x, y, t)] {
+            Some(b) => b[Self::cell_offset(x, y, t)],
+            None => S::ZERO,
+        }
+    }
+
+    /// Add `vals` into the row at `(y, t)` starting at `x0`, allocating
+    /// blocks on first touch (the old write primitive).
+    pub fn add_row_f64(&mut self, y: usize, t: usize, x0: usize, vals: &[f64]) {
+        assert!(x0 + vals.len() <= self.dims.gx);
+        let mut x = x0;
+        let end = x0 + vals.len();
+        while x < end {
+            let seg = (BLOCK_EDGE - x % BLOCK_EDGE).min(end - x);
+            let bi = self.block_index(x, y, t);
+            let block = self.blocks[bi]
+                .get_or_insert_with(|| vec![S::ZERO; BLOCK_VOLUME].into_boxed_slice());
+            let base = Self::cell_offset(x, y, t);
+            let src = &vals[x - x0..x - x0 + seg];
+            for (o, &v) in block[base..base + seg].iter_mut().zip(src) {
+                *o += S::from_f64(v);
+            }
+            x += seg;
+        }
+    }
+
+    /// Number of allocated blocks.
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Materialize as a dense [`Grid3`], walking allocated blocks in
+    /// table order and copying X-rows — the old implementation's
+    /// assemble path, replicated for the read-side comparison.
+    pub fn to_dense(&self) -> Grid3<S> {
+        let mut g = Grid3::zeros(self.dims);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let Some(data) = block.as_deref() else {
+                continue;
+            };
+            let bx = bi % self.nbx;
+            let rest = bi / self.nbx;
+            let (bt, by) = (rest / self.nby, rest % self.nby);
+            let (x0, y0, t0) = (bx * BLOCK_EDGE, by * BLOCK_EDGE, bt * BLOCK_EDGE);
+            let xw = BLOCK_EDGE.min(self.dims.gx - x0);
+            for lt in 0..BLOCK_EDGE.min(self.dims.gt - t0) {
+                for ly in 0..BLOCK_EDGE.min(self.dims.gy - y0) {
+                    let src = &data[(lt * BLOCK_EDGE + ly) * BLOCK_EDGE..][..xw];
+                    g.row_mut(y0 + ly, t0 + lt, x0, x0 + xw)
+                        .copy_from_slice(src);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_lazy_allocation() {
+        let mut g: FlatBlockGrid<f32> = FlatBlockGrid::new(GridDims::new(20, 17, 9));
+        assert_eq!(g.allocated_blocks(), 0);
+        g.add_row_f64(5, 3, 6, &[1.0, 2.0, 3.0, 4.0]);
+        // Row 6..10 straddles the x=8 block boundary: two blocks.
+        assert_eq!(g.allocated_blocks(), 2);
+        assert_eq!(g.get(6, 5, 3), 1.0);
+        assert_eq!(g.get(9, 5, 3), 4.0);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn matches_morton_grid_on_same_writes() {
+        let dims = GridDims::new(33, 18, 11);
+        let mut flat: FlatBlockGrid<f64> = FlatBlockGrid::new(dims);
+        let mut morton = stkde_grid::SparseGrid3::<f64>::new(dims);
+        let vals: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
+        for t in 0..dims.gt {
+            flat.add_row_f64(t % dims.gy, t, 2, &vals);
+            morton.add_row_f64(t % dims.gy, t, 2, &vals);
+        }
+        for t in 0..dims.gt {
+            for y in 0..dims.gy {
+                for x in 0..dims.gx {
+                    assert_eq!(flat.get(x, y, t), morton.get(x, y, t));
+                }
+            }
+        }
+    }
+}

@@ -178,9 +178,10 @@ impl<K: SpaceTimeKernel> Stkde<K> {
     }
 
     /// Run a *sparse-grid* computation (extension, see [`crate::sparse`]):
-    /// sequential sparse `PB-SYM` for one thread, sparse domain replication
-    /// otherwise. The configured `algorithm` is ignored — sparseness is a
-    /// grid-backend choice, not one of the paper's algorithm variants.
+    /// sequential sparse `PB-SYM` for one thread, shared-grid parallel
+    /// sparse scatter (time slabs + lock-free brick allocation) otherwise.
+    /// The configured `algorithm` is ignored — sparseness is a grid-backend
+    /// choice, not one of the paper's algorithm variants.
     pub fn compute_sparse<S: Scalar>(
         &self,
         points: &PointSet,
@@ -190,13 +191,7 @@ impl<K: SpaceTimeKernel> Stkde<K> {
         let (grid, timings) = if self.threads <= 1 {
             crate::sparse::run(&problem, &self.kernel, pts)
         } else {
-            crate::sparse::run_dr(
-                &problem,
-                &self.kernel,
-                pts,
-                self.threads,
-                stkde_grid::BlockDims::DEFAULT,
-            )?
+            crate::sparse::run_par(&problem, &self.kernel, pts, self.threads)?
         };
         Ok(crate::sparse::SparseResult {
             grid,

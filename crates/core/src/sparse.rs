@@ -7,24 +7,47 @@
 //! every parallel algorithm's speedup at ≈3 because zeroing memory does
 //! not parallelize. The paper attacks the symptom (parallel first-touch);
 //! this module removes the cause: density is accumulated into a
-//! [`SparseGrid3`] that allocates fixed-shape blocks only where cylinders
-//! actually land, so both memory and initialization cost scale with the
-//! *touched* volume `O(n·Hs²·Ht)` instead of the domain volume
+//! Morton-brick [`SparseGrid3`] that materializes 8³ bricks only where
+//! cylinders actually land, so both memory and initialization cost scale
+//! with the *touched* volume `O(n·Hs²·Ht)` instead of the domain volume
 //! `Θ(Gx·Gy·Gt)`.
 //!
-//! Two algorithms are provided:
+//! Three algorithms are provided:
 //!
-//! * [`run`] — sequential sparse `PB-SYM`;
-//! * [`run_dr`] — sparse domain replication: the DR strategy of §4.1
-//!   becomes viable on exactly the instances where dense DR fails (the
-//!   paper reports OOM on Flu Hr / eBird Hr), because each worker's
-//!   replica only materializes the blocks its own points touch, and the
-//!   reduction is proportional to touched blocks rather than `P·Θ(G)`.
+//! * [`run`] — sequential sparse `PB-SYM`. It rides the shared scatter
+//!   engine's native-scalar invariants (`Scratch<S>`), trimming each
+//!   chord row to its non-zero span so brick allocation tracks the
+//!   cylinder, not its bounding box. Because every surviving voxel goes
+//!   through the same elementwise `axpy_row` arithmetic as the dense
+//!   path, the sparse result is **bit-identical** to dense `PB-SYM` for
+//!   both `f32` and `f64`.
+//! * [`run_par`] — parallel sparse `PB-SYM` over **one shared grid**:
+//!   the time axis is split into contiguous worker-owned slabs (weighted
+//!   by per-layer chord area), each point is bucketed into every slab
+//!   its cylinder touches (preserving point order), and each worker
+//!   scatters with its slab as the T-clip. Voxel ownership is exclusive
+//!   by construction, so no merge step exists; bricks straddling a slab
+//!   boundary are materialized exactly once by the grid's lock-free
+//!   CAS-on-slot protocol ([`stkde_grid::brick`]). The X/Y invariants do
+//!   not depend on the T-clip and the temporal planes use absolute `T`,
+//!   so every written value — and the per-voxel accumulation order — is
+//!   identical to the sequential path: `run_par` is **bit-identical** to
+//!   [`run`], at any thread or slab count.
+//! * [`run_dr`] — sparse domain replication, retained as the
+//!   replica-per-worker alternative (§4.1): each worker scatters its
+//!   contiguous chunk of the points into a private sparse replica, and
+//!   replicas are merged brick-wise, so the reduction costs one pointer
+//!   sweep of the brick table plus `O(512)` adds per *touched* brick —
+//!   not `P·Θ(G)` like dense DR (which the paper reports as OOM on
+//!   Flu Hr / eBird Hr). The merge re-associates floating-point sums, so
+//!   unlike [`run_par`] this path is only approximately equal to [`run`]
+//!   (within rounding); it remains the reference for the
+//!   replicate-and-reduce ablation.
 //!
-//! The trade-off is per-write block indirection, which loses on dense
-//! instances (eBird-style, where every block would be allocated anyway);
-//! the `ablation_sparse` harness and `benches/sparse.rs` quantify the
-//! crossover.
+//! The trade-off is one table indirection per ≤8-voxel row segment,
+//! which loses on dense instances (eBird-style, where every brick would
+//! be allocated anyway); the `ablation_sparse` harness and
+//! `benches/sparse.rs` quantify the crossover.
 
 use crate::kernel_apply::{write_region, Scratch};
 use crate::parallel::{chunk_bounds, make_pool};
@@ -33,124 +56,133 @@ use crate::timing::{PhaseTimings, Stopwatch};
 use crate::StkdeError;
 use rayon::prelude::*;
 use stkde_data::Point;
-use stkde_grid::{BlockDims, Scalar, SparseGrid3, VoxelRange};
+use stkde_grid::{Scalar, SharedSparseGrid, SparseGrid3, VoxelRange};
 use stkde_kernels::SpaceTimeKernel;
 
 /// Result of a sparse STKDE computation.
 #[derive(Debug, Clone)]
-pub struct SparseResult<S> {
-    /// The block-sparse density grid.
+pub struct SparseResult<S: Scalar> {
+    /// The brick-sparse density grid.
     pub grid: SparseGrid3<S>,
-    /// Phase timing breakdown (`init` is the block-table setup).
+    /// Phase timing breakdown (`init` is the brick-table setup, `bin`
+    /// the slab planning and point bucketing of the parallel path).
     pub timings: PhaseTimings,
     /// Worker threads used.
     pub threads: usize,
 }
 
 impl<S: Scalar> SparseResult<S> {
-    /// Fraction of the domain's blocks that were actually allocated —
+    /// Fraction of the domain's bricks that were actually allocated —
     /// the instance's *sparsity* as seen by this backend.
     pub fn occupancy(&self) -> f64 {
         self.grid.occupancy()
     }
 }
 
-/// Scatter one point's cylinder into a sparse grid using the `PB-SYM`
-/// scatter engine, writing only the non-zero span of each disk row so
-/// block allocation tracks the cylinder (not its bounding box).
-fn apply_point_sparse<S: Scalar, K: SpaceTimeKernel>(
-    grid: &mut SparseGrid3<S>,
+/// Per-worker scratch for the sparse kernel: the shared engine
+/// invariants in the grid's native scalar, plus the per-point trimmed
+/// non-zero span of each chord.
+#[derive(Debug, Default, Clone)]
+struct SparseScratch<S> {
+    inv: Scratch<S>,
+    spans: Vec<(u32, u32)>,
+}
+
+/// Scatter one point's cylinder into the shared sparse grid through the
+/// `PB-SYM` engine, clipped to `clip`, writing only the non-zero span of
+/// each disk row so brick allocation tracks the cylinder (not its
+/// bounding box).
+///
+/// The engine's chords carry a guard voxel of exact zeros per side;
+/// skipping those (and any all-zero row) removes only `+= 0` writes on
+/// non-negative values, so the surviving writes are bit-identical to the
+/// dense engine's [`scatter_rows`](crate::kernel_apply) over the same
+/// clip.
+///
+/// # Safety
+/// The caller must hold exclusive access to `p`'s cylinder voxels
+/// clipped to `clip` (see [`SharedSparseGrid::axpy_row`]).
+unsafe fn apply_point_sparse<S: Scalar, K: SpaceTimeKernel>(
+    grid: &SharedSparseGrid<'_, S>,
     problem: &Problem,
     kernel: &K,
     p: &Point,
-    scratch: &mut SparseScratch,
+    clip: VoxelRange,
+    scratch: &mut SparseScratch<S>,
 ) {
-    let r = write_region(problem, p, VoxelRange::full(problem.domain.dims()));
+    let r = write_region(problem, p, clip);
     if r.is_empty() {
         return;
     }
-    // f64 staging regardless of the grid scalar: the sparse backend
-    // converts at `add_row_f64` time, like the dense path converts on
-    // accumulation. The engine's packed `(T, Kt)` plane list is not
-    // built — this loop consumes the f64 bar directly.
-    scratch.inv.fill_axes(problem, p, r);
-    scratch.inv.fill_chords(problem, p, r);
-    scratch.inv.fill_disk(kernel, r, problem.norm);
-    scratch.inv.fill_bar(kernel);
-    // The engine's chords carry a guard voxel of exact zeros per side;
-    // trim each row's zero fringe once per point (reused across all T
-    // planes) so blocks are only allocated for voxels the cylinder
+    scratch.inv.prepare_sym(problem, kernel, p, r);
+    // Trim each row's zero fringe once per point (reused across all T
+    // planes) so bricks are only allocated for voxels the cylinder
     // actually touches.
     scratch.spans.clear();
     for c in &scratch.inv.chords {
         let disk_row = &scratch.inv.disk[c.off as usize..c.off as usize + c.len()];
-        match disk_row.iter().position(|&v| v != 0.0) {
-            None => scratch.spans.push((0, 0)),
+        let span = match disk_row.iter().position(|&v| v != S::ZERO) {
+            None => (0, 0),
             Some(s) => {
-                let e = disk_row.len()
-                    - disk_row
-                        .iter()
-                        .rev()
-                        .position(|&v| v != 0.0)
-                        .expect("non-empty");
-                scratch.spans.push((s as u32, e as u32));
+                let tail = disk_row
+                    .iter()
+                    .rev()
+                    .position(|&v| v != S::ZERO)
+                    .unwrap_or(0);
+                (s as u32, (disk_row.len() - tail) as u32)
             }
-        }
+        };
+        scratch.spans.push(span);
     }
-    for (ti, t) in (r.t0..r.t1).enumerate() {
-        let kt = scratch.inv.bar[ti];
-        if kt == 0.0 {
+    #[cfg(feature = "obs")]
+    let mut segments = 0u64;
+    // Same loop shape as the dense engine's `scatter_rows`: Y outermost
+    // so a chord's `Ks` values are loaded once and reused across planes.
+    for (yi, y) in (r.y0..r.y1).enumerate() {
+        let (s, e) = scratch.spans[yi];
+        if s >= e {
             continue;
         }
-        for (yi, y) in (r.y0..r.y1).enumerate() {
-            let (s, e) = scratch.spans[yi];
-            if s == e {
-                continue;
+        let c = scratch.inv.chords[yi];
+        let ks = &scratch.inv.disk[c.off as usize + s as usize..c.off as usize + e as usize];
+        let x0 = c.x0 as usize + s as usize;
+        for &(t, kt) in &scratch.inv.planes {
+            // SAFETY: forwarded from the caller contract.
+            unsafe { grid.axpy_row(y, t as usize, x0, ks, kt) };
+            #[cfg(feature = "obs")]
+            {
+                // Brick-row segments this write touched (brick edge = 8).
+                segments += (((x0 + ks.len() - 1) >> 3) - (x0 >> 3) + 1) as u64;
             }
-            let c = scratch.inv.chords[yi];
-            let disk_row =
-                &scratch.inv.disk[c.off as usize + s as usize..c.off as usize + e as usize];
-            scratch.row.clear();
-            scratch.row.extend(disk_row.iter().map(|&ks| ks * kt));
-            grid.add_row_f64(y, t, c.x0 as usize + s as usize, &scratch.row);
         }
     }
+    #[cfg(feature = "obs")]
+    tally::segments(segments);
 }
 
-/// Per-worker scratch for the sparse kernel: the shared engine invariants
-/// (f64 staging), the per-row product buffer, and the per-point trimmed
-/// nonzero span of each chord.
-#[derive(Debug, Default, Clone)]
-struct SparseScratch {
-    inv: Scratch<f64>,
-    row: Vec<f64>,
-    spans: Vec<(u32, u32)>,
-}
-
-/// Sequential sparse `PB-SYM` with the default block shape.
+/// Sequential sparse `PB-SYM`. Bit-identical to the dense `PB-SYM`
+/// reference for both scalar types (see the module docs).
 pub fn run<S: Scalar, K: SpaceTimeKernel>(
     problem: &Problem,
     kernel: &K,
     points: &[Point],
 ) -> (SparseGrid3<S>, PhaseTimings) {
-    run_with_blocks(problem, kernel, points, BlockDims::DEFAULT)
-}
-
-/// Sequential sparse `PB-SYM` with an explicit block shape.
-pub fn run_with_blocks<S: Scalar, K: SpaceTimeKernel>(
-    problem: &Problem,
-    kernel: &K,
-    points: &[Point],
-    blocks: BlockDims,
-) -> (SparseGrid3<S>, PhaseTimings) {
     let mut sw = Stopwatch::start();
-    let mut grid = SparseGrid3::with_blocks(problem.domain.dims(), blocks);
+    let mut grid = SparseGrid3::new(problem.domain.dims());
     let init = sw.lap();
-    let mut scratch = SparseScratch::default();
-    for p in points {
-        apply_point_sparse(&mut grid, problem, kernel, p, &mut scratch);
+    let clip = VoxelRange::full(problem.domain.dims());
+    {
+        let shared = SharedSparseGrid::new(&mut grid);
+        let mut scratch = SparseScratch::default();
+        for p in points {
+            // SAFETY: `shared` is the only handle to the grid and this
+            // loop is single-threaded — access is exclusive.
+            unsafe { apply_point_sparse(&shared, problem, kernel, p, clip, &mut scratch) };
+        }
     }
     let compute = sw.lap();
+    #[cfg(feature = "obs")]
+    tally::totals(grid.allocated_bricks() as u64, grid.alloc_cas_races());
     (
         grid,
         PhaseTimings {
@@ -161,43 +193,245 @@ pub fn run_with_blocks<S: Scalar, K: SpaceTimeKernel>(
     )
 }
 
-/// Sparse domain replication: each worker accumulates its chunk of the
-/// points into a private *sparse* replica; replicas are merged block-wise.
+/// Parallel sparse `PB-SYM` over one shared grid, partitioned into
+/// worker-owned time slabs. Bit-identical to [`run`] (see module docs).
 ///
-/// Unlike dense `PB-SYM-DR` (`Θ(P·G)` memory, OOM on the paper's Flu Hr and
-/// eBird Hr instances), the replicas here cost only what the worker's own
-/// points touch, so no memory guard is needed — worst case equals the dense
-/// footprint plus block-rounding.
+/// The slab count adapts to `min(threads, available cores, Gt)`: slabs
+/// beyond the physical core count add duplicated per-point invariant
+/// setup without adding parallelism, so a single-core host degenerates
+/// to the sequential path plus pool dispatch.
+pub fn run_par<S: Scalar, K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    threads: usize,
+) -> Result<(SparseGrid3<S>, PhaseTimings), StkdeError> {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let nslabs = threads.min(cores).max(1);
+    run_par_slabs(problem, kernel, points, threads, nslabs)
+}
+
+/// [`run_par`] with an explicit slab count — exposed so correctness
+/// tests can force multi-slab execution (and boundary-straddling brick
+/// races) on hosts where the adaptive count would collapse to one slab.
+pub fn run_par_slabs<S: Scalar, K: SpaceTimeKernel>(
+    problem: &Problem,
+    kernel: &K,
+    points: &[Point],
+    threads: usize,
+    nslabs: usize,
+) -> Result<(SparseGrid3<S>, PhaseTimings), StkdeError> {
+    if threads == 0 {
+        return Err(StkdeError::InvalidConfig("threads must be > 0".into()));
+    }
+    let dims = problem.domain.dims();
+    let nslabs = nslabs.clamp(1, dims.gt.max(1));
+
+    let mut sw = Stopwatch::start();
+    let mut grid = SparseGrid3::new(dims);
+    let init = sw.lap();
+
+    let slabs = plan_slabs(problem, points, nslabs);
+    if slabs.len() <= 1 {
+        // One slab ⇒ the parallel path is the sequential loop; skip the
+        // bucketing pass and the pool dispatch entirely.
+        let clip = VoxelRange::full(dims);
+        {
+            let shared = SharedSparseGrid::new(&mut grid);
+            let mut scratch = SparseScratch::default();
+            for p in points {
+                // SAFETY: single-threaded — access is exclusive.
+                unsafe { apply_point_sparse(&shared, problem, kernel, p, clip, &mut scratch) };
+            }
+        }
+        let compute = sw.lap();
+        #[cfg(feature = "obs")]
+        tally::totals(grid.allocated_bricks() as u64, grid.alloc_cas_races());
+        return Ok((
+            grid,
+            PhaseTimings {
+                init,
+                compute,
+                ..Default::default()
+            },
+        ));
+    }
+
+    // The pool is only materialized once a multi-slab plan exists: the
+    // one-slab degenerate case above must not pay worker-set costs.
+    let pool = make_pool(threads)?;
+    let buckets = bucket_points(problem, points, &slabs);
+    let bin = sw.lap();
+
+    {
+        let shared = SharedSparseGrid::new(&mut grid);
+        let shared = &shared;
+        pool.install(|| {
+            (0..slabs.len()).into_par_iter().for_each(|si| {
+                let (t0, t1) = slabs[si];
+                let clip = VoxelRange {
+                    x0: 0,
+                    x1: dims.gx,
+                    y0: 0,
+                    y1: dims.gy,
+                    t0,
+                    t1,
+                };
+                let mut scratch = SparseScratch::default();
+                for &pi in &buckets[si] {
+                    // SAFETY: the slabs partition the T axis, so every
+                    // voxel is written by exactly one worker; brick-slot
+                    // races at slab boundaries are resolved by the
+                    // grid's CAS allocation protocol.
+                    unsafe {
+                        apply_point_sparse(
+                            shared,
+                            problem,
+                            kernel,
+                            &points[pi as usize],
+                            clip,
+                            &mut scratch,
+                        )
+                    };
+                }
+            });
+        });
+    }
+    let compute = sw.lap();
+    #[cfg(feature = "obs")]
+    tally::totals(grid.allocated_bricks() as u64, grid.alloc_cas_races());
+    Ok((
+        grid,
+        PhaseTimings {
+            init,
+            bin,
+            compute,
+            ..Default::default()
+        },
+    ))
+}
+
+/// Split the time axis into at most `nslabs` contiguous half-open slabs
+/// with approximately equal *scatter work*, where each layer's weight is
+/// the summed clipped `X·Y` bounding area of the cylinders covering it
+/// (a difference array + prefix sum, `O(n + Gt)`).
+fn plan_slabs(problem: &Problem, points: &[Point], nslabs: usize) -> Vec<(usize, usize)> {
+    let gt = problem.domain.dims().gt;
+    if nslabs <= 1 || gt <= 1 || points.is_empty() {
+        return vec![(0, gt)];
+    }
+    let full = VoxelRange::full(problem.domain.dims());
+    let mut diff = vec![0.0f64; gt + 1];
+    for p in points {
+        let r = write_region(problem, p, full);
+        if r.is_empty() {
+            continue;
+        }
+        let w = ((r.x1 - r.x0) * (r.y1 - r.y0)) as f64;
+        diff[r.t0] += w;
+        diff[r.t1] -= w;
+    }
+    // cum[t] = total work in layers [0, t).
+    let mut cum = vec![0.0f64; gt + 1];
+    let mut layer = 0.0;
+    for t in 0..gt {
+        layer += diff[t];
+        cum[t + 1] = cum[t] + layer;
+    }
+    let total = cum[gt];
+    if total <= 0.0 {
+        return vec![(0, gt)];
+    }
+    let mut bounds = vec![0usize];
+    for k in 1..nslabs {
+        let target = total * k as f64 / nslabs as f64;
+        let lo = bounds[bounds.len() - 1] + 1;
+        let mut t = lo;
+        while t < gt && cum[t] < target {
+            t += 1;
+        }
+        if t < gt {
+            bounds.push(t);
+        } else {
+            break;
+        }
+    }
+    bounds.push(gt);
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Bucket point *indices* into every slab their cylinder's T-extent
+/// intersects, preserving global point order within each bucket (which
+/// is what makes the slab-owned accumulation order match [`run`]).
+fn bucket_points(problem: &Problem, points: &[Point], slabs: &[(usize, usize)]) -> Vec<Vec<u32>> {
+    let full = VoxelRange::full(problem.domain.dims());
+    let mut buckets = vec![Vec::new(); slabs.len()];
+    for (i, p) in points.iter().enumerate() {
+        let r = write_region(problem, p, full);
+        if r.is_empty() {
+            continue;
+        }
+        for (si, &(s0, s1)) in slabs.iter().enumerate() {
+            if r.t0 < s1 && s0 < r.t1 {
+                buckets[si].push(i as u32);
+            }
+        }
+    }
+    buckets
+}
+
+/// Sparse domain replication: each worker accumulates its chunk of the
+/// points into a private *sparse* replica; replicas are merged
+/// brick-wise.
+///
+/// Unlike dense `PB-SYM-DR` (`Θ(P·G)` memory, OOM on the paper's Flu Hr
+/// and eBird Hr instances), the replicas here cost only what the
+/// worker's own points touch, so no memory guard is needed — worst case
+/// equals the dense footprint plus brick-rounding. The merge
+/// re-associates sums, so results match [`run`] to rounding, not
+/// bitwise; [`run_par`] is the exact parallel path.
 pub fn run_dr<S: Scalar, K: SpaceTimeKernel>(
     problem: &Problem,
     kernel: &K,
     points: &[Point],
     threads: usize,
-    blocks: BlockDims,
 ) -> Result<(SparseGrid3<S>, PhaseTimings), StkdeError> {
     let pool = make_pool(threads)?;
     let dims = problem.domain.dims();
     pool.install(|| {
         let mut sw = Stopwatch::start();
         // Phase 1+2: per-worker sparse replicas (allocation happens lazily
-        // inside compute, so `init` is just the block tables).
-        let mut replicas: Vec<SparseGrid3<S>> = (0..threads)
-            .map(|_| SparseGrid3::with_blocks(dims, blocks))
-            .collect();
+        // inside compute, so `init` is just the brick tables).
+        let mut replicas: Vec<SparseGrid3<S>> =
+            (0..threads).map(|_| SparseGrid3::new(dims)).collect();
         let init = sw.lap();
 
+        let clip = VoxelRange::full(dims);
         replicas.par_iter_mut().enumerate().for_each(|(i, g)| {
             let (s, e) = chunk_bounds(points.len(), threads, i);
+            let shared = SharedSparseGrid::new(g);
             let mut scratch = SparseScratch::default();
             for p in &points[s..e] {
-                apply_point_sparse(g, problem, kernel, p, &mut scratch);
+                // SAFETY: `g` is this worker's private replica.
+                unsafe { apply_point_sparse(&shared, problem, kernel, p, clip, &mut scratch) };
             }
         });
         let compute = sw.lap();
 
-        // Phase 3: block-wise merge, cost ∝ allocated blocks only.
+        // Phase 3: brick-wise merge, cost ∝ allocated bricks (plus a
+        // pointer sweep of each replica's slot table).
         let mut iter = replicas.into_iter();
-        let mut acc = iter.next().expect("threads >= 1 checked by make_pool");
+        let Some(mut acc) = iter.next() else {
+            return Err(StkdeError::InvalidConfig(format!(
+                "threads must be > 0, got {threads}"
+            )));
+        };
         for r in iter {
             acc.merge_from(&r);
         }
@@ -215,6 +449,27 @@ pub fn run_dr<S: Scalar, K: SpaceTimeKernel>(
     })
 }
 
+/// Sparse-backend tallies (`obs` feature only): brick allocation and
+/// write-side locality counters, cataloged in OBSERVABILITY.md.
+#[cfg(feature = "obs")]
+mod tally {
+    use stkde_obs::names;
+
+    /// Brick-row segments written by the scatter loop.
+    #[inline]
+    pub(super) fn segments(n: u64) {
+        if n > 0 {
+            stkde_obs::counter!(names::SPARSE_BRICKS_TOUCHED).add(n);
+        }
+    }
+
+    /// End-of-run allocation totals.
+    pub(super) fn totals(allocated: u64, races: u64) {
+        stkde_obs::counter!(names::SPARSE_BRICKS_ALLOCATED).add(allocated);
+        stkde_obs::counter!(names::SPARSE_ALLOC_CAS_RACES).add(races);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,12 +485,21 @@ mod tests {
     }
 
     #[test]
-    fn sparse_matches_dense_pb_sym() {
+    fn sparse_is_bit_identical_to_dense_pb_sym_f64() {
         let (problem, points) = setup(50, 11);
         let (dense, _) = pb_sym::run::<f64, _>(&problem, &Epanechnikov, &points);
         let (sparse, t) = run::<f64, _>(&problem, &Epanechnikov, &points);
-        assert!(sparse.max_abs_diff_dense(&dense) < 1e-12);
-        assert!(t.compute >= t.init, "block-table init should be cheap");
+        assert_eq!(sparse.to_dense(), dense, "sparse must match dense bitwise");
+        assert!(t.compute >= t.init, "brick-table init should be cheap");
+        assert_eq!(sparse.alloc_cas_races(), 0, "sequential path cannot race");
+    }
+
+    #[test]
+    fn sparse_is_bit_identical_to_dense_pb_sym_f32() {
+        let (problem, points) = setup(50, 11);
+        let (dense, _) = pb_sym::run::<f32, _>(&problem, &Epanechnikov, &points);
+        let (sparse, _) = run::<f32, _>(&problem, &Epanechnikov, &points);
+        assert_eq!(sparse.to_dense(), dense, "native-scalar path, no staging");
     }
 
     #[test]
@@ -243,42 +507,94 @@ mod tests {
         let (problem, points) = setup(25, 12);
         let (dense, _) = pb_sym::run::<f64, _>(&problem, &Quartic, &points);
         let (sparse, _) = run::<f64, _>(&problem, &Quartic, &points);
-        assert!(sparse.max_abs_diff_dense(&dense) < 1e-12);
+        assert_eq!(sparse.to_dense(), dense);
     }
 
     #[test]
-    fn single_point_touches_few_blocks() {
+    fn single_point_touches_few_bricks() {
         let domain = Domain::from_dims(GridDims::new(256, 256, 128));
         let problem = Problem::new(domain, Bandwidth::new(3.0, 2.0), 1);
         let points = [Point::new(128.0, 128.0, 64.0)];
-        let (sparse, _) =
-            run_with_blocks::<f32, _>(&problem, &Epanechnikov, &points, BlockDims::new(8, 8, 8));
-        // Cylinder bounding box is 7×7×5 voxels; at 8³ blocks it can touch
-        // at most 2×2×2 block corners.
+        let (sparse, _) = run::<f32, _>(&problem, &Epanechnikov, &points);
+        // Cylinder bounding box is 7×7×5 voxels; at 8³ bricks it can touch
+        // at most 2×2×2 brick corners.
         assert!(
-            sparse.allocated_blocks() <= 8,
+            sparse.allocated_bricks() <= 8,
             "{}",
-            sparse.allocated_blocks()
+            sparse.allocated_bricks()
         );
         assert!(sparse.occupancy() < 0.001);
     }
 
     #[test]
     fn allocation_tracks_cylinder_not_bounding_box() {
-        // With 1³ blocks, allocated blocks == touched voxels; a disk's
-        // corner voxels (outside u²+v²<1) must not be allocated.
-        let domain = Domain::from_dims(GridDims::new(64, 64, 16));
-        let problem = Problem::new(domain, Bandwidth::new(8.0, 2.0), 1);
-        let points = [Point::new(32.0, 32.0, 8.0)];
-        let (sparse, _) =
-            run_with_blocks::<f64, _>(&problem, &Epanechnikov, &points, BlockDims::new(1, 1, 1));
-        let bounding_box = 17 * 17 * 5;
+        // Radius-32 disk: the corner bricks of its bounding box lie
+        // entirely outside the disk (nearest corner distance ≈ 33.9 > 32)
+        // and must not be allocated, because the chord trim drops rows'
+        // zero fringes before any brick is touched.
+        let domain = Domain::from_dims(GridDims::new(128, 128, 16));
+        let problem = Problem::new(domain, Bandwidth::new(32.0, 2.0), 1);
+        let points = [Point::new(64.0, 64.0, 8.0)];
+        let (sparse, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        // Bounding box spans 9×9 brick columns × 2 brick layers.
+        let bounding_bricks = 9 * 9 * 2;
         assert!(
-            sparse.allocated_blocks() < bounding_box,
+            sparse.allocated_bricks() < bounding_bricks,
             "corners of the bounding box should be skipped: {} vs {}",
-            sparse.allocated_blocks(),
-            bounding_box
+            sparse.allocated_bricks(),
+            bounding_bricks
         );
+    }
+
+    #[test]
+    fn run_par_is_bit_identical_to_run_for_forced_slab_counts() {
+        let (problem, points) = setup(60, 13);
+        let (seq, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        let seq_dense = seq.to_dense();
+        for (threads, nslabs) in [(1, 1), (2, 2), (4, 3), (8, 8), (4, 24)] {
+            let (par, _) =
+                run_par_slabs::<f64, _>(&problem, &Epanechnikov, &points, threads, nslabs).unwrap();
+            assert_eq!(
+                par.to_dense(),
+                seq_dense,
+                "threads={threads} nslabs={nslabs}"
+            );
+            assert_eq!(par.allocated_bricks(), seq.allocated_bricks());
+        }
+    }
+
+    #[test]
+    fn run_par_is_bit_identical_to_run_f32() {
+        let (problem, points) = setup(40, 19);
+        let (seq, _) = run::<f32, _>(&problem, &Epanechnikov, &points);
+        for nslabs in [2, 5, 8] {
+            let (par, _) =
+                run_par_slabs::<f32, _>(&problem, &Epanechnikov, &points, 4, nslabs).unwrap();
+            assert_eq!(par.to_dense(), seq.to_dense(), "nslabs={nslabs}");
+        }
+    }
+
+    #[test]
+    fn run_par_adaptive_matches_run() {
+        let (problem, points) = setup(35, 21);
+        let (seq, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
+        let (par, _) = run_par::<f64, _>(&problem, &Epanechnikov, &points, 8).unwrap();
+        assert_eq!(par.to_dense(), seq.to_dense());
+    }
+
+    #[test]
+    fn slab_plan_partitions_the_time_axis() {
+        let (problem, points) = setup(80, 23);
+        for nslabs in [1, 2, 3, 8, 100] {
+            let slabs = plan_slabs(&problem, &points, nslabs);
+            assert!(!slabs.is_empty() && slabs.len() <= nslabs.max(1));
+            assert_eq!(slabs[0].0, 0);
+            assert_eq!(slabs[slabs.len() - 1].1, problem.domain.dims().gt);
+            for w in slabs.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "slabs must tile contiguously");
+                assert!(w[0].0 < w[0].1, "slabs must be non-empty");
+            }
+        }
     }
 
     #[test]
@@ -286,14 +602,7 @@ mod tests {
         let (problem, points) = setup(60, 13);
         let (seq, _) = run::<f64, _>(&problem, &Epanechnikov, &points);
         for threads in [1, 2, 4] {
-            let (par, t) = run_dr::<f64, _>(
-                &problem,
-                &Epanechnikov,
-                &points,
-                threads,
-                BlockDims::DEFAULT,
-            )
-            .unwrap();
+            let (par, t) = run_dr::<f64, _>(&problem, &Epanechnikov, &points, threads).unwrap();
             assert!(
                 par.max_abs_diff_dense(&seq.to_dense()) < 1e-12,
                 "threads={threads}"
@@ -305,14 +614,13 @@ mod tests {
     }
 
     #[test]
-    fn dr_memory_is_bounded_by_touched_blocks() {
+    fn dr_memory_is_bounded_by_touched_bricks() {
         // Flu-like: few points, huge grid. Dense DR at 4 threads would need
         // 4·G·8 bytes; sparse DR must stay far below one dense grid.
         let domain = Domain::from_dims(GridDims::new(512, 512, 256));
         let problem = Problem::new(domain, Bandwidth::new(2.0, 1.0), 8);
         let points = synth::uniform(8, domain.extent(), 14).into_vec();
-        let (g, _) =
-            run_dr::<f64, _>(&problem, &Epanechnikov, &points, 4, BlockDims::DEFAULT).unwrap();
+        let (g, _) = run_dr::<f64, _>(&problem, &Epanechnikov, &points, 4).unwrap();
         let dense_bytes = domain.dims().bytes::<f64>();
         assert!(
             g.allocated_bytes() < dense_bytes / 10,
@@ -326,14 +634,17 @@ mod tests {
     fn empty_points_allocate_nothing() {
         let (problem, _) = setup(0, 15);
         let (g, _) = run::<f64, _>(&problem, &Epanechnikov, &[]);
-        assert_eq!(g.allocated_blocks(), 0);
+        assert_eq!(g.allocated_bricks(), 0);
         assert_eq!(g.sum(), 0.0);
+        let (g, _) = run_par::<f64, _>(&problem, &Epanechnikov, &[], 4).unwrap();
+        assert_eq!(g.allocated_bricks(), 0);
     }
 
     #[test]
     fn zero_threads_rejected() {
         let (problem, points) = setup(4, 16);
-        assert!(run_dr::<f64, _>(&problem, &Epanechnikov, &points, 0, BlockDims::DEFAULT).is_err());
+        assert!(run_dr::<f64, _>(&problem, &Epanechnikov, &points, 0).is_err());
+        assert!(run_par::<f64, _>(&problem, &Epanechnikov, &points, 0).is_err());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   concurrent writes to *provably disjoint* voxel regions,
 //! * [`Decomposition`] — the A×B×C subdomain lattice used by the
 //!   domain-decomposed and point-decomposed parallel algorithms,
-//! * [`SparseGrid3`] — a block-sparse grid that elides the `Θ(G)`
-//!   initialization term dominating the paper's sparse instances,
+//! * [`SparseGrid3`] — a Morton-brick sparse grid ([`brick`], [`morton`])
+//!   that elides the `Θ(G)` initialization term dominating the paper's
+//!   sparse instances and supports lock-free parallel scatter through
+//!   [`SharedSparseGrid`],
 //! * parallel grid [`reduce`]-tion (for domain replication), grid
 //!   [`stats`], and simple [`io`] exports.
 //!
@@ -26,11 +28,14 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod axpy;
+pub mod brick;
 pub mod decomp;
 pub mod dims;
 pub mod geometry;
 pub mod grid3;
 pub mod io;
+pub mod model;
+pub mod morton;
 pub mod range;
 pub mod reduce;
 pub mod scalar;
@@ -46,5 +51,5 @@ pub use grid3::Grid3;
 pub use range::VoxelRange;
 pub use scalar::Scalar;
 pub use shared::{SharedGrid, WriteAudit};
-pub use sparse::{BlockDims, SparseGrid3};
+pub use sparse::{SharedSparseGrid, SparseGrid3};
 pub use stats::GridStats;

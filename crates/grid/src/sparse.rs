@@ -1,4 +1,4 @@
-//! Block-sparse 3-D voxel grid.
+//! Morton-brick sparse 3-D voxel grid.
 //!
 //! The paper's complexity analysis (§3.1) splits the point-based algorithms
 //! into an initialization term `Θ(Gx·Gy·Gt)` and a compute term
@@ -8,330 +8,225 @@
 //! threads), capping every parallel algorithm's speedup on those instances.
 //!
 //! [`SparseGrid3`] removes the `Θ(G)` term instead of parallelizing it: the
-//! grid is divided into fixed-shape blocks and a block is allocated (and
-//! zeroed) only when a density cylinder first touches it. Initialization
-//! becomes `Θ(G/B)` table setup, and total memory is proportional to the
-//! *touched* volume `O(n·Hs²·Ht)` rather than the domain volume. On
-//! Flu-like instances this converts the dominant cost into a negligible
-//! one (see `benches/sparse.rs` and the `ablation_sparse` harness); on
-//! dense instances (eBird) the dense [`Grid3`](crate::Grid3) remains
-//! preferable since every block gets allocated anyway and the block table
-//! adds indirection.
+//! domain is tiled by fixed 8³ **bricks** inside Morton-indexed chunks (see
+//! [`crate::brick`] for the layout and [`crate::morton`] for the encoding),
+//! and a brick is allocated (and zeroed) only when a density cylinder first
+//! touches it. Initialization becomes `Θ(G/512)` pointer-table setup, and
+//! total memory is proportional to the *touched* volume `O(n·Hs²·Ht)`
+//! rather than the domain volume. Unlike the row-major block table this
+//! replaced, brick slots are CAS-allocated ([`crate::brick`]'s lock-free
+//! protocol), so parallel scatters share one grid through
+//! [`SharedSparseGrid`] instead of merging per-thread replicas; and Morton
+//! ordering keeps spatially adjacent bricks adjacent in the slot table, so
+//! a cylinder's brick set stays cache-coherent. On dense instances (eBird)
+//! the dense [`Grid3`](crate::Grid3) remains preferable since every brick
+//! gets allocated anyway and the table adds one indirection per 8-voxel
+//! row segment.
 
+use crate::axpy::axpy_row;
+use crate::brick::{BrickTable, BRICK_EDGE};
 use crate::dims::GridDims;
 use crate::grid3::Grid3;
 use crate::range::VoxelRange;
 use crate::scalar::Scalar;
 
-/// Shape of one sparse block, in voxels.
-///
-/// Blocks are X-fastest internally, like [`Grid3`]. The default
-/// (`32×8×8` = 2048 voxels, 8 KiB of `f32`) keeps X-rows long enough for
-/// the stride-1 inner loop of `PB-SYM` while staying well under typical L1
-/// sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct BlockDims {
-    /// Block extent along x.
-    pub bx: usize,
-    /// Block extent along y.
-    pub by: usize,
-    /// Block extent along t.
-    pub bt: usize,
-}
-
-impl BlockDims {
-    /// The default block shape (`32×8×8`).
-    pub const DEFAULT: Self = Self {
-        bx: 32,
-        by: 8,
-        bt: 8,
-    };
-
-    /// Create a block shape. All extents must be non-zero.
-    ///
-    /// # Panics
-    /// Panics if any extent is zero.
-    pub fn new(bx: usize, by: usize, bt: usize) -> Self {
-        assert!(bx > 0 && by > 0 && bt > 0, "block extents must be non-zero");
-        Self { bx, by, bt }
-    }
-
-    /// Voxels per block.
-    #[inline]
-    pub fn volume(&self) -> usize {
-        self.bx * self.by * self.bt
-    }
-
-    /// Flat index of a voxel *within* a block (X-fastest).
-    #[inline(always)]
-    fn idx(&self, lx: usize, ly: usize, lt: usize) -> usize {
-        (lt * self.by + ly) * self.bx + lx
-    }
-}
-
-impl Default for BlockDims {
-    fn default() -> Self {
-        Self::DEFAULT
-    }
-}
-
-/// A block-sparse 3-D grid: a table of lazily allocated fixed-shape blocks.
+/// A brick-sparse 3-D grid: Morton-chunked tables of lazily allocated 8³
+/// bricks.
 ///
 /// Reads of never-written voxels return zero without allocating. All
 /// accumulation APIs mirror [`Grid3`] so the STKDE kernels can target
-/// either backend.
+/// either backend; [`SharedSparseGrid`] additionally mirrors
+/// [`SharedGrid`](crate::SharedGrid) for partitioned parallel writers.
 ///
 /// ```
 /// use stkde_grid::{GridDims, SparseGrid3};
 ///
 /// // A grid that would be 256 MB dense; nothing is allocated up front.
 /// let mut g: SparseGrid3<f32> = SparseGrid3::new(GridDims::new(1024, 1024, 64));
-/// assert_eq!(g.allocated_blocks(), 0);
+/// assert_eq!(g.allocated_bricks(), 0);
 /// g.add(500, 500, 30, 1.0);
 /// assert_eq!(g.get(500, 500, 30), 1.0);
 /// assert_eq!(g.get(0, 0, 0), 0.0);       // never-written voxels read zero
-/// assert_eq!(g.allocated_blocks(), 1);   // one 32×8×8 block materialized
+/// assert_eq!(g.allocated_bricks(), 1);   // one 8³ brick materialized
 /// ```
-#[derive(Debug, Clone)]
 pub struct SparseGrid3<S> {
-    dims: GridDims,
-    block: BlockDims,
-    /// Blocks per axis (`⌈G/B⌉`).
-    nbx: usize,
-    nby: usize,
-    nbt: usize,
-    blocks: Vec<Option<Box<[S]>>>,
-    allocated: usize,
+    table: BrickTable<S>,
 }
 
 impl<S: Scalar> SparseGrid3<S> {
-    /// Empty sparse grid with the default block shape.
+    /// Empty sparse grid over `dims`; allocates only the brick pointer
+    /// table (8 bytes per brick position).
     pub fn new(dims: GridDims) -> Self {
-        Self::with_blocks(dims, BlockDims::DEFAULT)
-    }
-
-    /// Empty sparse grid with an explicit block shape.
-    pub fn with_blocks(dims: GridDims, block: BlockDims) -> Self {
-        let nbx = dims.gx.div_ceil(block.bx);
-        let nby = dims.gy.div_ceil(block.by);
-        let nbt = dims.gt.div_ceil(block.bt);
-        Self {
-            dims,
-            block,
-            nbx,
-            nby,
-            nbt,
-            blocks: vec![None; nbx * nby * nbt],
-            allocated: 0,
+        SparseGrid3 {
+            table: BrickTable::new(dims),
         }
     }
 
     /// Grid dimensions.
     #[inline]
     pub fn dims(&self) -> GridDims {
-        self.dims
+        self.table.dims()
     }
 
-    /// Block shape.
+    /// The underlying brick table (shared-writer entry points live there).
+    /// Only the `model`-feature test facade reaches through this.
+    #[cfg_attr(not(feature = "model"), allow(dead_code))]
     #[inline]
-    pub fn block_dims(&self) -> BlockDims {
-        self.block
+    pub(crate) fn table(&self) -> &BrickTable<S> {
+        &self.table
     }
 
-    /// Number of entries in the block table (`⌈Gx/Bx⌉·⌈Gy/By⌉·⌈Gt/Bt⌉`).
+    /// Number of brick positions inside the domain
+    /// (`⌈Gx/8⌉·⌈Gy/8⌉·⌈Gt/8⌉`) — the denominator for [`occupancy`](Self::occupancy).
     #[inline]
     pub fn table_len(&self) -> usize {
-        self.blocks.len()
+        self.table.domain_bricks()
     }
 
-    /// Number of blocks currently allocated.
+    /// Number of bricks currently materialized.
     #[inline]
-    pub fn allocated_blocks(&self) -> usize {
-        self.allocated
+    pub fn allocated_bricks(&self) -> usize {
+        self.table.allocated()
     }
 
-    /// Approximate heap footprint: block payloads plus the block table.
+    /// Brick allocations that lost the install CAS to a concurrent
+    /// writer (always zero after purely sequential writes).
+    #[inline]
+    pub fn alloc_cas_races(&self) -> u64 {
+        self.table.cas_races()
+    }
+
+    /// Approximate heap footprint: brick payloads plus the pointer table.
     pub fn allocated_bytes(&self) -> usize {
-        self.allocated * self.block.volume() * std::mem::size_of::<S>()
-            + self.blocks.len() * std::mem::size_of::<Option<Box<[S]>>>()
+        self.table.allocated_bytes()
     }
 
-    /// Fraction of table entries that are allocated, in `[0, 1]`.
+    /// Fraction of in-domain brick positions that are allocated, in `[0, 1]`.
     pub fn occupancy(&self) -> f64 {
-        if self.blocks.is_empty() {
+        let denom = self.table.domain_bricks();
+        if denom == 0 {
             0.0
         } else {
-            self.allocated as f64 / self.blocks.len() as f64
+            self.table.allocated() as f64 / denom as f64
         }
     }
 
-    #[inline(always)]
-    fn table_idx(&self, bx: usize, by: usize, bt: usize) -> usize {
-        debug_assert!(bx < self.nbx && by < self.nby && bt < self.nbt);
-        (bt * self.nby + by) * self.nbx + bx
-    }
-
-    /// Value at voxel `(x, y, t)`; zero if its block was never written.
+    /// Value at voxel `(x, y, t)`; zero if its brick was never written.
     ///
     /// # Panics
-    /// Panics (in debug builds) if the coordinate is out of bounds.
+    /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize, t: usize) -> S {
-        debug_assert!(self.dims.contains(x, y, t));
-        let ti = self.table_idx(x / self.block.bx, y / self.block.by, t / self.block.bt);
-        match &self.blocks[ti] {
-            None => S::ZERO,
-            Some(b) => {
-                b[self
-                    .block
-                    .idx(x % self.block.bx, y % self.block.by, t % self.block.bt)]
-            }
-        }
+        self.table.get(x, y, t)
     }
 
-    fn alloc_block(block: BlockDims) -> Box<[S]> {
-        vec![S::ZERO; block.volume()].into_boxed_slice()
-    }
-
-    #[inline]
-    fn block_mut(&mut self, bx: usize, by: usize, bt: usize) -> &mut [S] {
-        let ti = self.table_idx(bx, by, bt);
-        if self.blocks[ti].is_none() {
-            self.blocks[ti] = Some(Self::alloc_block(self.block));
-            self.allocated += 1;
-        }
-        self.blocks[ti].as_deref_mut().expect("just allocated")
-    }
-
-    /// Add `v` to voxel `(x, y, t)`, allocating its block if needed.
+    /// Add `v` to voxel `(x, y, t)`, materializing its brick if needed.
     #[inline]
     pub fn add(&mut self, x: usize, y: usize, t: usize, v: S) {
-        debug_assert!(self.dims.contains(x, y, t));
-        let (bx, by, bt) = (x / self.block.bx, y / self.block.by, t / self.block.bt);
-        let (lx, ly, lt) = (x % self.block.bx, y % self.block.by, t % self.block.bt);
-        let li = self.block.idx(lx, ly, lt);
-        self.block_mut(bx, by, bt)[li] += v;
+        // SAFETY: `&mut self` proves exclusive access — no concurrent
+        // writer can target any voxel.
+        unsafe { self.table.add_shared(x, y, t, v) }
+    }
+
+    /// `row[x0..x0+ks.len()] += kt · ks`, splitting the row across brick
+    /// columns and materializing bricks on the way.
+    ///
+    /// Each ≤8-voxel segment goes through the same stride-1
+    /// [`axpy_row`](crate::axpy_row) kernel as the dense path, and
+    /// `axpy_row` is elementwise, so a row written here is bit-identical
+    /// to the same row written into a dense [`Grid3`].
+    #[inline]
+    pub fn axpy_row(&mut self, y: usize, t: usize, x0: usize, ks: &[S], kt: S) {
+        // SAFETY: `&mut self` proves exclusive access.
+        unsafe {
+            self.table
+                .row_segments_shared(y, t, x0, ks.len(), |seg, off| {
+                    axpy_row(seg, &ks[off..off + seg.len()], kt);
+                });
+        }
     }
 
     /// Accumulate a contiguous X-row of `f64` values starting at
-    /// `(x0, y, t)`, splitting the row across block columns.
+    /// `(x0, y, t)`, splitting the row across brick columns.
     ///
-    /// This is the sparse counterpart of writing through
-    /// [`Grid3::row_mut`](crate::Grid3::row_mut) and is the write primitive
-    /// used by the sparse `PB-SYM` kernel: values are converted with
-    /// [`Scalar::from_f64`] as they are added.
+    /// Values are converted with [`Scalar::from_f64`] as they are added;
+    /// native-precision writers should prefer [`axpy_row`](Self::axpy_row).
     pub fn add_row_f64(&mut self, y: usize, t: usize, x0: usize, vals: &[f64]) {
-        if vals.is_empty() {
-            return;
-        }
-        debug_assert!(self.dims.contains(x0 + vals.len() - 1, y, t));
-        let (by, bt) = (y / self.block.by, t / self.block.bt);
-        let (ly, lt) = (y % self.block.by, t % self.block.bt);
-        let row_base = self.block.idx(0, ly, lt);
-        let bxw = self.block.bx;
-        let mut x = x0;
-        let mut off = 0;
-        while off < vals.len() {
-            let bx = x / bxw;
-            let lx = x % bxw;
-            // Length of this row segment inside block column `bx`.
-            let seg = (bxw - lx).min(vals.len() - off);
-            let data = self.block_mut(bx, by, bt);
-            let dst = &mut data[row_base + lx..row_base + lx + seg];
-            for (d, &v) in dst.iter_mut().zip(&vals[off..off + seg]) {
-                *d += S::from_f64(v);
-            }
-            x += seg;
-            off += seg;
+        // SAFETY: `&mut self` proves exclusive access.
+        unsafe {
+            self.table
+                .row_segments_shared(y, t, x0, vals.len(), |seg, off| {
+                    let src = &vals[off..off + seg.len()];
+                    for (d, &v) in seg.iter_mut().zip(src) {
+                        *d += S::from_f64(v);
+                    }
+                });
         }
     }
 
-    /// Merge another sparse grid into this one (block-wise addition).
-    ///
-    /// This is the reduction step of the sparse domain-replication
-    /// algorithm: only blocks allocated in `other` are touched, so the
-    /// reduce cost is proportional to the *touched* volume, not `Θ(G)` per
-    /// replica as in dense `PB-SYM-DR`.
+    /// Merge another sparse grid into this one (brick-wise addition).
+    /// Only bricks allocated in `other` are touched.
     ///
     /// # Panics
-    /// Panics if dimensions or block shapes differ.
+    /// Panics if dimensions differ.
     pub fn merge_from(&mut self, other: &Self) {
-        assert_eq!(self.dims, other.dims, "grid shapes must match");
-        assert_eq!(self.block, other.block, "block shapes must match");
-        for ti in 0..other.blocks.len() {
-            let Some(src) = &other.blocks[ti] else {
-                continue;
-            };
-            if self.blocks[ti].is_none() {
-                self.blocks[ti] = Some(src.clone());
-                self.allocated += 1;
-            } else {
-                let dst = self.blocks[ti].as_deref_mut().expect("checked above");
-                for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                    *d += s;
-                }
-            }
-        }
+        self.table.merge_from(&other.table);
     }
 
     /// Materialize as a dense [`Grid3`] (allocating `Θ(G)`).
     pub fn to_dense(&self) -> Grid3<S> {
-        let mut g = Grid3::zeros(self.dims);
-        for (bt, by, bx, data) in self.iter_blocks() {
-            let x0 = bx * self.block.bx;
-            let y0 = by * self.block.by;
-            let t0 = bt * self.block.bt;
-            let xw = self.block.bx.min(self.dims.gx - x0);
-            for lt in 0..self.block.bt.min(self.dims.gt - t0) {
-                for ly in 0..self.block.by.min(self.dims.gy - y0) {
-                    let src = &data[self.block.idx(0, ly, lt)..][..xw];
-                    let dst = g.row_mut(y0 + ly, t0 + lt, x0, x0 + xw);
-                    dst.copy_from_slice(src);
+        let dims = self.dims();
+        let mut g = Grid3::zeros(dims);
+        self.table.for_each_brick(|bx, by, bt, data| {
+            let (x0, y0, t0) = (bx * BRICK_EDGE, by * BRICK_EDGE, bt * BRICK_EDGE);
+            let xw = BRICK_EDGE.min(dims.gx - x0);
+            for lt in 0..BRICK_EDGE.min(dims.gt - t0) {
+                for ly in 0..BRICK_EDGE.min(dims.gy - y0) {
+                    let src = &data[(lt * BRICK_EDGE + ly) * BRICK_EDGE..][..xw];
+                    g.row_mut(y0 + ly, t0 + lt, x0, x0 + xw)
+                        .copy_from_slice(src);
                 }
             }
-        }
+        });
         g
     }
 
-    /// Iterate allocated blocks as `(bt, by, bx, data)`.
-    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, usize, &[S])> + '_ {
-        self.blocks.iter().enumerate().filter_map(move |(ti, b)| {
-            b.as_deref().map(|data| {
-                let bx = ti % self.nbx;
-                let rest = ti / self.nbx;
-                (rest / self.nby, rest % self.nby, bx, data)
-            })
-        })
+    /// Visit every materialized brick as `(bx, by, bt, payload)`; the
+    /// payload is the full 512-cell X-fastest slab (padding cells of edge
+    /// bricks read zero).
+    pub fn for_each_brick(&self, f: impl FnMut(usize, usize, usize, &[S])) {
+        self.table.for_each_brick(f)
     }
 
-    /// Sum of all stored values (unallocated blocks contribute zero).
+    /// Sum of all stored values (unallocated bricks contribute zero).
     pub fn sum(&self) -> f64 {
-        self.iter_blocks()
-            .map(|(bt, by, bx, data)| {
-                // Padding voxels (outside `dims` in edge blocks) are never
-                // written, so summing the whole payload is safe.
-                let _ = (bt, by, bx);
-                data.iter().map(|v| v.to_f64()).sum::<f64>()
-            })
-            .sum()
+        let mut total = 0.0;
+        // Padding voxels (outside `dims` in edge bricks) are never
+        // written, so summing whole payloads is safe.
+        self.for_each_brick(|_, _, _, data| {
+            total += data.iter().map(|v| v.to_f64()).sum::<f64>();
+        });
+        total
     }
 
     /// Number of voxels with a non-zero stored value.
     pub fn nonzero_count(&self) -> usize {
-        self.iter_blocks()
-            .map(|(_, _, _, data)| data.iter().filter(|v| **v != S::ZERO).count())
-            .sum()
+        let mut n = 0;
+        self.for_each_brick(|_, _, _, data| {
+            n += data.iter().filter(|v| **v != S::ZERO).count();
+        });
+        n
     }
 
-    /// Upper bound on the number of blocks a voxel range can touch.
-    pub fn blocks_touching(&self, r: VoxelRange) -> usize {
-        let r = r.clipped(self.dims);
+    /// Upper bound on the number of bricks a voxel range can touch.
+    pub fn bricks_touching(&self, r: VoxelRange) -> usize {
+        let r = r.clipped(self.dims());
         if r.is_empty() {
             return 0;
         }
-        let nx = r.x1.div_ceil(self.block.bx) - r.x0 / self.block.bx;
-        let ny = r.y1.div_ceil(self.block.by) - r.y0 / self.block.by;
-        let nt = r.t1.div_ceil(self.block.bt) - r.t0 / self.block.bt;
+        let nx = r.x1.div_ceil(BRICK_EDGE) - r.x0 / BRICK_EDGE;
+        let ny = r.y1.div_ceil(BRICK_EDGE) - r.y0 / BRICK_EDGE;
+        let nt = r.t1.div_ceil(BRICK_EDGE) - r.t0 / BRICK_EDGE;
         nx * ny * nt
     }
 
@@ -340,9 +235,9 @@ impl<S: Scalar> SparseGrid3<S> {
     /// # Panics
     /// Panics if shapes differ.
     pub fn max_abs_diff_dense(&self, dense: &Grid3<S>) -> f64 {
-        assert_eq!(self.dims, dense.dims(), "grid shapes must match");
+        assert_eq!(self.dims(), dense.dims(), "grid shapes must match");
         let mut worst = 0.0f64;
-        for (x, y, t) in self.dims.iter() {
+        for (x, y, t) in self.dims().iter() {
             let d = (self.get(x, y, t).to_f64() - dense.get(x, y, t).to_f64()).abs();
             worst = worst.max(d);
         }
@@ -350,25 +245,102 @@ impl<S: Scalar> SparseGrid3<S> {
     }
 }
 
+impl<S: Scalar> Clone for SparseGrid3<S> {
+    fn clone(&self) -> Self {
+        SparseGrid3 {
+            table: self.table.clone(),
+        }
+    }
+}
+
+impl<S: Scalar> std::fmt::Debug for SparseGrid3<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseGrid3")
+            .field("table", &self.table)
+            .finish()
+    }
+}
+
+/// A sparse grid opened for concurrent partitioned writers, mirroring
+/// [`SharedGrid`](crate::SharedGrid) on the dense side.
+///
+/// Construction takes `&mut SparseGrid3`, so for its lifetime this handle
+/// is the *only* route to the grid; workers share it by reference and
+/// write through [`axpy_row`](Self::axpy_row). Brick **slots** may be
+/// raced freely (the CAS protocol in [`crate::brick`] materializes each
+/// brick exactly once); payload **voxels** must be disjoint across
+/// concurrent writers, which the parallel scatter guarantees by
+/// partitioning the time axis into worker-owned slabs.
+pub struct SharedSparseGrid<'a, S> {
+    table: &'a BrickTable<S>,
+}
+
+impl<'a, S: Scalar> SharedSparseGrid<'a, S> {
+    /// Open `grid` for shared writing. The exclusive borrow guarantees no
+    /// other access for the handle's lifetime.
+    pub fn new(grid: &'a mut SparseGrid3<S>) -> Self {
+        SharedSparseGrid { table: &grid.table }
+    }
+
+    /// Grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.table.dims()
+    }
+
+    /// `row[x0..x0+ks.len()] += kt · ks`, exactly like
+    /// [`SparseGrid3::axpy_row`], from any worker thread.
+    ///
+    /// # Safety
+    /// Concurrent callers must target disjoint voxels: the written row
+    /// `(y, t, x0..x0+ks.len())` must not overlap any row another thread
+    /// writes concurrently.
+    #[inline]
+    pub unsafe fn axpy_row(&self, y: usize, t: usize, x0: usize, ks: &[S], kt: S) {
+        // SAFETY: voxel disjointness is forwarded to the caller; slot
+        // races are resolved by the brick CAS protocol.
+        unsafe {
+            self.table
+                .row_segments_shared(y, t, x0, ks.len(), |seg, off| {
+                    axpy_row(seg, &ks[off..off + seg.len()], kt);
+                });
+        }
+    }
+}
+
+// SAFETY: the handle only exposes `unsafe` writes whose contract demands
+// voxel-disjoint access, and the brick table's slot allocation is
+// lock-free and thread-safe; sharing the handle across workers is the
+// intended use (same argument as the dense `SharedGrid`).
+unsafe impl<S: Scalar> Sync for SharedSparseGrid<'_, S> {}
+
+/// Re-exported so callers can size buffers without reaching into
+/// [`crate::brick`].
+pub use crate::brick::BRICK_EDGE as SPARSE_BRICK_EDGE;
+/// Voxels per sparse brick.
+pub use crate::brick::BRICK_VOLUME as SPARSE_BRICK_VOLUME;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::brick::BRICK_VOLUME;
     use proptest::prelude::*;
 
     #[test]
     fn empty_grid_reads_zero_without_allocating() {
         let g: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(100, 100, 50));
         assert_eq!(g.get(99, 99, 49), 0.0);
-        assert_eq!(g.allocated_blocks(), 0);
+        assert_eq!(g.allocated_bricks(), 0);
         assert_eq!(g.occupancy(), 0.0);
+        assert_eq!(g.alloc_cas_races(), 0);
     }
 
     #[test]
-    fn add_allocates_exactly_one_block() {
+    fn add_allocates_exactly_one_brick() {
         let mut g: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(100, 100, 50));
         g.add(5, 5, 5, 2.0);
         g.add(6, 5, 5, 1.0);
-        assert_eq!(g.allocated_blocks(), 1);
+        assert_eq!(g.allocated_bricks(), 1);
         assert_eq!(g.get(5, 5, 5), 2.0);
         assert_eq!(g.get(6, 5, 5), 1.0);
         assert_eq!(g.get(7, 5, 5), 0.0);
@@ -376,20 +348,19 @@ mod tests {
 
     #[test]
     fn table_len_is_ceil_division() {
-        let g: SparseGrid3<f32> =
-            SparseGrid3::with_blocks(GridDims::new(33, 9, 8), BlockDims::new(32, 8, 8));
-        // 2 block columns × 2 block rows × 1 block layer.
-        assert_eq!(g.table_len(), 4);
+        let g: SparseGrid3<f32> = SparseGrid3::new(GridDims::new(33, 9, 8));
+        // ⌈33/8⌉ × ⌈9/8⌉ × ⌈8/8⌉ = 5 × 2 × 1 brick positions.
+        assert_eq!(g.table_len(), 10);
     }
 
     #[test]
-    fn add_row_spans_block_boundaries() {
+    fn add_row_spans_brick_boundaries() {
         let dims = GridDims::new(70, 10, 10);
-        let mut g: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(32, 8, 8));
+        let mut g: SparseGrid3<f64> = SparseGrid3::new(dims);
         let vals: Vec<f64> = (0..70).map(|i| i as f64).collect();
         g.add_row_f64(3, 4, 0, &vals);
-        // The row crosses 3 block columns.
-        assert_eq!(g.allocated_blocks(), 3);
+        // The row crosses ⌈70/8⌉ = 9 brick columns.
+        assert_eq!(g.allocated_bricks(), 9);
         for x in 0..70 {
             assert_eq!(g.get(x, 3, 4), x as f64, "x={x}");
         }
@@ -408,9 +379,9 @@ mod tests {
     #[test]
     fn to_dense_roundtrip() {
         let dims = GridDims::new(50, 20, 12);
-        let mut g: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(16, 8, 4));
+        let mut g: SparseGrid3<f64> = SparseGrid3::new(dims);
         g.add(0, 0, 0, 1.0);
-        g.add(49, 19, 11, 2.0); // edge block (partially outside)
+        g.add(49, 19, 11, 2.0); // edge brick (partially outside)
         g.add(25, 10, 6, 3.0);
         let dense = g.to_dense();
         assert_eq!(dense.get(0, 0, 0), 1.0);
@@ -423,67 +394,98 @@ mod tests {
     }
 
     #[test]
-    fn merge_from_adds_blockwise() {
+    fn merge_from_adds_brickwise() {
         let dims = GridDims::new(40, 16, 8);
         let mut a: SparseGrid3<f64> = SparseGrid3::new(dims);
         let mut b: SparseGrid3<f64> = SparseGrid3::new(dims);
         a.add(1, 1, 1, 1.0);
-        b.add(1, 1, 1, 2.0); // same block
-        b.add(39, 15, 7, 5.0); // block only in b
+        b.add(1, 1, 1, 2.0); // same brick
+        b.add(39, 15, 7, 5.0); // brick only in b
         a.merge_from(&b);
         assert_eq!(a.get(1, 1, 1), 3.0);
         assert_eq!(a.get(39, 15, 7), 5.0);
-        assert_eq!(a.allocated_blocks(), 2);
+        assert_eq!(a.allocated_bricks(), 2);
         // b unchanged.
         assert_eq!(b.get(1, 1, 1), 2.0);
     }
 
     #[test]
-    #[should_panic(expected = "block shapes")]
-    fn merge_mismatched_blocks_panics() {
-        let dims = GridDims::new(8, 8, 8);
-        let mut a: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(4, 4, 4));
-        let b: SparseGrid3<f64> = SparseGrid3::with_blocks(dims, BlockDims::new(8, 8, 8));
+    #[should_panic(expected = "grid shapes")]
+    fn merge_mismatched_dims_panics() {
+        let mut a: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(8, 8, 8));
+        let b: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(16, 8, 8));
         a.merge_from(&b);
     }
 
     #[test]
     fn nonzero_count_ignores_padding() {
-        // 5-wide grid with 4-wide blocks: edge block has 3 padding columns.
-        let mut g: SparseGrid3<f64> =
-            SparseGrid3::with_blocks(GridDims::new(5, 4, 4), BlockDims::new(4, 4, 4));
+        // 5-wide grid inside one 8³ brick: 3 padding columns per row.
+        let mut g: SparseGrid3<f64> = SparseGrid3::new(GridDims::new(5, 4, 4));
         g.add(4, 0, 0, 1.0);
         assert_eq!(g.nonzero_count(), 1);
-        assert_eq!(g.allocated_blocks(), 1);
+        assert_eq!(g.allocated_bricks(), 1);
     }
 
     #[test]
-    fn blocks_touching_counts_straddled_columns() {
-        let g: SparseGrid3<f32> =
-            SparseGrid3::with_blocks(GridDims::new(64, 64, 64), BlockDims::new(32, 8, 8));
+    fn bricks_touching_counts_straddled_columns() {
+        let g: SparseGrid3<f32> = SparseGrid3::new(GridDims::new(64, 64, 64));
         let r = VoxelRange {
-            x0: 30,
-            x1: 35, // straddles x-blocks 0 and 1
+            x0: 6,
+            x1: 11, // straddles x-bricks 0 and 1
             y0: 0,
-            y1: 8, // one y-block
+            y1: 8, // one y-brick
             t0: 7,
-            t1: 9, // straddles t-blocks 0 and 1
+            t1: 9, // straddles t-bricks 0 and 1
         };
         assert_eq!(
-            g.blocks_touching(r),
+            g.bricks_touching(r),
             4,
-            "2 x-blocks x 1 y-block x 2 t-blocks"
+            "2 x-bricks × 1 y-brick × 2 t-bricks"
         );
-        assert_eq!(g.blocks_touching(VoxelRange::empty()), 0);
+        assert_eq!(g.bricks_touching(VoxelRange::empty()), 0);
     }
 
     #[test]
-    fn allocated_bytes_grows_with_blocks() {
-        let mut g: SparseGrid3<f32> =
-            SparseGrid3::with_blocks(GridDims::new(64, 64, 64), BlockDims::new(8, 8, 8));
+    fn allocated_bytes_grows_with_bricks() {
+        let mut g: SparseGrid3<f32> = SparseGrid3::new(GridDims::new(64, 64, 64));
         let empty = g.allocated_bytes();
         g.add(0, 0, 0, 1.0);
-        assert_eq!(g.allocated_bytes(), empty + 512 * 4);
+        assert_eq!(g.allocated_bytes(), empty + BRICK_VOLUME * 4);
+    }
+
+    #[test]
+    fn shared_writers_on_disjoint_rows_match_sequential() {
+        let dims = GridDims::new(48, 16, 16);
+        let ks: Vec<f32> = (0..20).map(|i| 0.25 + i as f32).collect();
+
+        let mut seq: SparseGrid3<f32> = SparseGrid3::new(dims);
+        for t in 0..16 {
+            for y in 0..16 {
+                seq.axpy_row(y, t, 3, &ks, 0.5);
+            }
+        }
+
+        let mut par: SparseGrid3<f32> = SparseGrid3::new(dims);
+        {
+            let shared = SharedSparseGrid::new(&mut par);
+            std::thread::scope(|s| {
+                for w in 0..4usize {
+                    let shared = &shared;
+                    let ks = &ks;
+                    // Each worker owns t-layers w*4 .. w*4+4: disjoint voxels.
+                    s.spawn(move || {
+                        for t in w * 4..w * 4 + 4 {
+                            for y in 0..16 {
+                                // SAFETY: workers own disjoint t-layers.
+                                unsafe { shared.axpy_row(y, t, 3, ks, 0.5) };
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(par.to_dense(), seq.to_dense());
+        assert_eq!(par.allocated_bricks(), seq.allocated_bricks());
     }
 
     proptest! {
@@ -492,11 +494,9 @@ mod tests {
         fn sparse_matches_dense_scatter(
             writes in proptest::collection::vec(
                 (0usize..50, 0usize..30, 0usize..20, -10.0f64..10.0), 0..200),
-            bx in 1usize..40, by in 1usize..40, bt in 1usize..40,
         ) {
             let dims = GridDims::new(50, 30, 20);
-            let mut sparse: SparseGrid3<f64> =
-                SparseGrid3::with_blocks(dims, BlockDims::new(bx, by, bt));
+            let mut sparse: SparseGrid3<f64> = SparseGrid3::new(dims);
             let mut dense: Grid3<f64> = Grid3::zeros(dims);
             for &(x, y, t, v) in &writes {
                 sparse.add(x, y, t, v);
@@ -506,19 +506,17 @@ mod tests {
             prop_assert_eq!(sparse.to_dense(), dense);
         }
 
-        /// Row writes agree with per-voxel writes, for any block shape and
-        /// any row placement (including rows crossing many blocks).
+        /// Row writes agree with per-voxel writes for any row placement
+        /// (including rows crossing many bricks).
         #[test]
         fn add_row_matches_pointwise(
-            bx in 1usize..20,
             x0 in 0usize..40,
             len in 0usize..24,
             y in 0usize..16, t in 0usize..16,
             seed in 0u64..1000,
         ) {
             let dims = GridDims::new(64, 16, 16);
-            let mut by_row: SparseGrid3<f64> =
-                SparseGrid3::with_blocks(dims, BlockDims::new(bx, 4, 4));
+            let mut by_row: SparseGrid3<f64> = SparseGrid3::new(dims);
             let mut by_voxel = by_row.clone();
             let vals: Vec<f64> = (0..len.min(64 - x0))
                 .map(|i| ((seed + i as u64) % 17) as f64 - 8.0)
@@ -528,7 +526,32 @@ mod tests {
                 by_voxel.add(x0 + i, y, t, v);
             }
             prop_assert_eq!(by_row.to_dense(), by_voxel.to_dense());
-            prop_assert_eq!(by_row.allocated_blocks(), by_voxel.allocated_blocks());
+            prop_assert_eq!(by_row.allocated_bricks(), by_voxel.allocated_bricks());
+        }
+
+        /// `axpy_row` into a sparse grid is bit-identical to `axpy_row`
+        /// into a dense grid, for f32, across brick boundaries.
+        #[test]
+        fn axpy_row_bitwise_matches_dense(
+            x0 in 0usize..40,
+            len in 1usize..24,
+            y in 0usize..16, t in 0usize..16,
+            kt in 0.01f32..3.0,
+            seed in 0u64..1000,
+        ) {
+            let dims = GridDims::new(64, 16, 16);
+            let len = len.min(64 - x0);
+            let ks: Vec<f32> = (0..len)
+                .map(|i| ((seed + i as u64) % 23) as f32 * 0.37)
+                .collect();
+            let mut sparse: SparseGrid3<f32> = SparseGrid3::new(dims);
+            let mut dense: Grid3<f32> = Grid3::zeros(dims);
+            // Two passes so accumulation order is exercised too.
+            for _ in 0..2 {
+                sparse.axpy_row(y, t, x0, &ks, kt);
+                crate::axpy_row(dense.row_mut(y, t, x0, x0 + len), &ks, kt);
+            }
+            prop_assert_eq!(sparse.to_dense(), dense);
         }
 
         /// Merging a split write-set equals writing everything into one grid.
@@ -550,7 +573,7 @@ mod tests {
             prop_assert_eq!(left.to_dense(), whole.to_dense());
         }
 
-        /// Allocation never exceeds the blocks-touching bound of the
+        /// Allocation never exceeds the bricks-touching bound of the
         /// written region, and occupancy stays in [0, 1].
         #[test]
         fn allocation_bounded_by_touched_region(
@@ -570,7 +593,7 @@ mod tests {
                     }
                 };
             }
-            prop_assert!(g.allocated_blocks() <= g.blocks_touching(r));
+            prop_assert!(g.allocated_bricks() <= g.bricks_touching(r));
             prop_assert!(g.occupancy() > 0.0 && g.occupancy() <= 1.0);
         }
     }

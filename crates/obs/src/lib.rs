@@ -123,6 +123,14 @@ pub mod names {
     /// Voxels in the clipped bounding boxes of scattered points.
     pub const SCATTER_BOX_VOXELS: &str = "stkde_scatter_box_voxels_total";
 
+    /// 8³ bricks materialized by the sparse backend (per run).
+    pub const SPARSE_BRICKS_ALLOCATED: &str = "stkde_sparse_bricks_allocated_total";
+    /// Brick-row segments written by the sparse scatter loop.
+    pub const SPARSE_BRICKS_TOUCHED: &str = "stkde_sparse_bricks_touched_total";
+    /// Brick allocations lost to a concurrent CAS winner (duplicate
+    /// zero-fill discarded; counts contended slot materializations).
+    pub const SPARSE_ALLOC_CAS_RACES: &str = "stkde_sparse_alloc_cas_races_total";
+
     /// Successful steals, labeled by stealing worker.
     pub const POOL_STEALS: &str = "stkde_pool_steals_total";
     /// Full sweeps that found no work, labeled by worker.

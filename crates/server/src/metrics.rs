@@ -209,6 +209,21 @@ pub(crate) fn describe_catalog() {
             c,
             "Voxels in the clipped bounding boxes of scattered points; 1 - written/box is the skipped-zero fraction.",
         ),
+        (
+            names::SPARSE_BRICKS_ALLOCATED,
+            c,
+            "8^3 bricks materialized by the sparse scatter backend.",
+        ),
+        (
+            names::SPARSE_BRICKS_TOUCHED,
+            c,
+            "Brick-row segments written by the sparse scatter loop.",
+        ),
+        (
+            names::SPARSE_ALLOC_CAS_RACES,
+            c,
+            "Brick allocations lost to a concurrent CAS winner (duplicate zero-fill discarded).",
+        ),
         (names::POOL_STEALS, c, "Successful deque steals by worker."),
         (
             names::POOL_STEAL_FAILURES,
@@ -347,6 +362,8 @@ mod tests {
         let text = global().render();
         for name in [
             names::SCATTER_POINTS,
+            names::SPARSE_BRICKS_ALLOCATED,
+            names::SPARSE_ALLOC_CAS_RACES,
             names::POOL_STEALS,
             names::INGEST_EVENTS,
             names::HTTP_REQUEST_SECONDS,

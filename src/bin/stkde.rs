@@ -211,15 +211,15 @@ fn cmd_compute(args: &[String]) -> Result<(), String> {
             .compute_sparse::<f32>(&points)
             .map_err(|e| e.to_string())?;
         println!(
-                "sparse backend: {} of {} blocks allocated ({:.1}% occupancy, {:.1} MiB vs {:.1} MiB dense)",
-                r.grid.allocated_blocks(),
+                "sparse backend: {} of {} bricks allocated ({:.1}% occupancy, {:.1} MiB vs {:.1} MiB dense)",
+                r.grid.allocated_bricks(),
                 r.grid.table_len(),
                 100.0 * r.occupancy(),
                 r.grid.allocated_bytes() as f64 / (1024.0 * 1024.0),
                 domain.dims().bytes::<f32>() as f64 / (1024.0 * 1024.0),
             );
         let name = if threads > 1 {
-            "PB-SYM-SPARSE-DR"
+            "PB-SYM-SPARSE-PAR"
         } else {
             "PB-SYM-SPARSE"
         };

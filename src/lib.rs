@@ -55,7 +55,7 @@ pub use stkde_core::{Algorithm, PhaseTimings, Problem, Stkde, StkdeError};
 pub use stkde_core::{IncrementalStkde, SlidingWindowStkde, SparseResult};
 pub use stkde_data::{DatasetKind, Instance, Point, PointSet};
 pub use stkde_grid::{Bandwidth, Decomp, Domain, Extent, Grid3, GridDims, Resolution};
-pub use stkde_grid::{BlockDims, SparseGrid3};
+pub use stkde_grid::{SharedSparseGrid, SparseGrid3};
 
 /// Summary statistics of a density grid (re-export of
 /// [`stkde_grid::stats::stats`]).

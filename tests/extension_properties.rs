@@ -9,7 +9,6 @@ use stkde::kernels::Epanechnikov;
 use stkde::prelude::*;
 use stkde::{IncrementalStkde, Problem};
 use stkde_core::algorithms::pb_sym;
-use stkde_grid::BlockDims;
 
 /// A random instance: grid dims, bandwidths, and points inside the extent.
 fn arb_instance() -> impl Strategy<Value = (Domain, Bandwidth, Vec<Point>)> {
@@ -42,13 +41,17 @@ proptest! {
     #[test]
     fn sparse_equals_dense_on_random_instances(
         (domain, bw, points) in arb_instance(),
-        bx in 1usize..12, by in 1usize..12, bt in 1usize..12,
+        nslabs in 1usize..8, threads in 1usize..5,
     ) {
         let dense = batch(domain, bw, &points);
         let problem = Problem::new(domain, bw, points.len());
-        let (grid, _) = sparse::run_with_blocks::<f64, _>(
-            &problem, &Epanechnikov, &points, BlockDims::new(bx, by, bt));
-        prop_assert!(grid.max_abs_diff_dense(&dense) < 1e-10);
+        let (grid, _) = sparse::run::<f64, _>(&problem, &Epanechnikov, &points);
+        // Bit-identical, not merely close: same engine, same write order.
+        prop_assert_eq!(&grid.to_dense(), &dense);
+        let (par, _) = sparse::run_par_slabs::<f64, _>(
+            &problem, &Epanechnikov, &points, threads, nslabs)
+            .expect("threads >= 1 by strategy");
+        prop_assert_eq!(&par.to_dense(), &dense);
     }
 
     #[test]
@@ -107,11 +110,11 @@ proptest! {
     ) {
         let problem = Problem::new(domain, bw, points.len());
         let (grid, _) = sparse::run::<f32, _>(&problem, &Epanechnikov, &points);
-        prop_assert!(grid.allocated_blocks() <= grid.table_len());
+        prop_assert!(grid.allocated_bricks() <= grid.table_len());
         let occ = grid.occupancy();
         prop_assert!((0.0..=1.0).contains(&occ));
         if points.is_empty() {
-            prop_assert_eq!(grid.allocated_blocks(), 0);
+            prop_assert_eq!(grid.allocated_bricks(), 0);
         }
         // Mass agreement with the dense path.
         let dense = batch(domain, bw, &points);
