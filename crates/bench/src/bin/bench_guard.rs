@@ -69,6 +69,9 @@ const SAT_SHARDED_READERS_ID: &str = "saturation/sharded_ingest_readers8";
 const SAT_SINGLE_STALL_ID: &str = "saturation/singlelock_stall_readers8";
 const SAT_SHARDED_STALL_ID: &str = "saturation/sharded_stall_readers8";
 const SAT_SHARDED_P99_ID: &str = "saturation/sharded_read_p99_readers8";
+const APPROX_EXACT_ID: &str = "approx/region_exact_full";
+const APPROX_COARSE_ID: &str = "approx/region_approx_coarsest";
+const APPROX_VIOLATIONS_ID: &str = "approx/bound_violations";
 const SPARSE_SEQ_ID: &str = "sparse/flu_scatter_seq";
 const SPARSE_PAR_ID: &str = "sparse/flu_scatter_par_t8";
 const SPARSE_ASSEMBLE_MORTON_ID: &str = "sparse/read_assemble_morton";
@@ -103,6 +106,18 @@ const SAT_STALL_SLACK: f64 = 0.5;
 /// Absolute bound on the reader-side p99 with snapshot reads: a snapshot
 /// fold never waits on the writer, so its tail is compute-bound.
 const SAT_P99_BOUND_S: f64 = 0.25;
+/// The coarsest-level full-grid region must beat the exact fold by at
+/// least this factor: the pyramid exists to make wide queries cheap, and
+/// the coarsest walk touches a few hundred cells where the exact fold
+/// touches the full 64x64x32 volume. Measured headroom is far larger;
+/// 8x is the floor below which the fast path has stopped being one.
+const APPROX_SPEEDUP_MIN: f64 = 8.0;
+/// `approx/bound_violations` records the number of random queries whose
+/// answer escaped its certified bound, offset by 1e-9 to satisfy the
+/// positive-time parser. Any value >= 1 means a real violation — the
+/// bound is a proof obligation, not a quality target, so the budget is
+/// exactly zero.
+const APPROX_VIOLATIONS_BOUND: f64 = 1.0;
 const DEFAULT_MAX_RATIO: f64 = 2.0;
 
 /// Extract `"key":<string>` and `"key":<number>` from one flat JSON line.
@@ -342,6 +357,43 @@ fn main() -> ExitCode {
                 failures.push((
                     "saturation read-p99 in-run invariant".to_string(),
                     p99 / SAT_P99_BOUND_S,
+                ));
+            }
+        }
+    }
+
+    // In-run approximate-serving invariants (same machine-independence
+    // argument: both records come from the same process). The pyramid
+    // fast path must actually be fast — a coarsest-level full-grid
+    // answer that only marginally beats the exact fold means the level
+    // walk or the per-cell fold has regressed — and the certified bound
+    // must hold on every random query the bench replayed.
+    if selected(APPROX_COARSE_ID) {
+        if let (Some(&exact), Some(&coarse)) =
+            (current.get(APPROX_EXACT_ID), current.get(APPROX_COARSE_ID))
+        {
+            let speedup = exact / coarse;
+            println!(
+                "approx invariant: exact/coarsest region speedup = {speedup:.1}x \
+                 (must be >= {APPROX_SPEEDUP_MIN}x)"
+            );
+            if speedup < APPROX_SPEEDUP_MIN {
+                failures.push((
+                    "approx coarsest-speedup in-run invariant".to_string(),
+                    APPROX_SPEEDUP_MIN / speedup,
+                ));
+            }
+        }
+        if let Some(&violations) = current.get(APPROX_VIOLATIONS_ID) {
+            println!(
+                "approx invariant: certified-bound violations = {:.0} \
+                 (must be 0)",
+                violations.floor()
+            );
+            if violations >= APPROX_VIOLATIONS_BOUND {
+                failures.push((
+                    "approx certified-bound in-run invariant".to_string(),
+                    violations,
                 ));
             }
         }

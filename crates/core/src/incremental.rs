@@ -342,6 +342,27 @@ impl<S: Scalar> SlidingWindowStkde<S, Epanechnikov> {
 }
 
 impl<S: Scalar, K: SpaceTimeKernel> SlidingWindowStkde<S, K> {
+    /// Empty stream over the trailing `window` time units, rasterizing
+    /// with `kernel` instead of the default Epanechnikov. Conformance
+    /// references use this to match a serving cube's kernel bit-exactly.
+    ///
+    /// # Panics
+    /// Panics if `window` is not positive and finite.
+    pub fn with_kernel(domain: Domain, bw: Bandwidth, window: f64, kernel: K) -> Self {
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive and finite"
+        );
+        Self {
+            cube: IncrementalStkde::with_kernel(domain, bw, kernel),
+            points: VecDeque::new(),
+            window,
+            auto_rebuild: None,
+            churn: 0,
+            rebuilds: 0,
+        }
+    }
+
     /// Enable the drift hygiene the module docs call for: after every `n`
     /// insert/evict pairs, run [`rebuild`](Self::rebuild) automatically so
     /// float cancellation error cannot accumulate without bound. Most

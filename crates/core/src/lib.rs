@@ -60,6 +60,9 @@ pub use engine::{Algorithm, Stkde, StkdeResult};
 pub use error::StkdeError;
 pub use incremental::{BatchPush, IncrementalStkde, SlidingWindowStkde};
 pub use problem::Problem;
-pub use sharded::{CubeSnapshot, ShardBatchStats, ShardPlanes, ShardedWindowStkde};
+pub use sharded::{
+    ApproxRange, ApproxSlice, CubeSnapshot, PyramidBuildReport, ShardBatchStats, ShardPlanes,
+    ShardedWindowStkde,
+};
 pub use sparse::SparseResult;
 pub use timing::PhaseTimings;

@@ -45,9 +45,13 @@ use crate::problem::Problem;
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 use stkde_data::Point;
-use stkde_grid::{stats, Bandwidth, Domain, Grid3, GridDims, GridStats, Scalar, VoxelRange};
+use stkde_grid::{
+    stats, ApproxStats, Bandwidth, Domain, Grid3, GridDims, GridStats, MipPyramid, Scalar,
+    VoxelRange,
+};
 use stkde_kernels::{Epanechnikov, SpaceTimeKernel};
 
 pub use crate::incremental::BatchPush;
@@ -117,6 +121,86 @@ pub struct ShardPlanes<S> {
     pub epoch: u64,
     /// The unnormalized slab accumulator (layer `l` = global `t0 + l`).
     pub grid: Grid3<S>,
+    /// Lazily built mip pyramid over this slab (the approximate read
+    /// path). Living inside the copy-on-write `Arc`, a built pyramid
+    /// rides along with every snapshot that shares the slab — only slabs
+    /// whose epoch moved get a fresh `ShardPlanes` and re-reduce on the
+    /// next approximate read.
+    pyramid: OnceLock<Arc<MipPyramid>>,
+}
+
+impl<S: Scalar> ShardPlanes<S> {
+    fn new(t0: usize, t1: usize, epoch: u64, grid: Grid3<S>) -> Self {
+        Self {
+            t0,
+            t1,
+            epoch,
+            grid,
+            pyramid: OnceLock::new(),
+        }
+    }
+
+    /// The slab's mip pyramid, built (rayon-parallel) on first use and
+    /// cached for the lifetime of this copy-on-write slab.
+    pub fn pyramid(&self) -> &Arc<MipPyramid> {
+        self.pyramid
+            .get_or_init(|| Arc::new(MipPyramid::build(&self.grid)))
+    }
+
+    /// The pyramid if a previous read already built it.
+    pub fn pyramid_if_built(&self) -> Option<&Arc<MipPyramid>> {
+        self.pyramid.get()
+    }
+}
+
+/// A region answer from the approximate read path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxRange {
+    /// Normalized aggregates. On an approximate answer (`level > 0`),
+    /// `nonzero` is a certified *upper bound* on the true non-zero count
+    /// (every other field carries the `error_bound` guarantee below); on
+    /// the exact path it is exact.
+    pub stats: GridStats,
+    /// Pyramid level served from (`0` = exact path).
+    pub level: usize,
+    /// Certified per-voxel density error bound: `|approx − exact| ≤
+    /// error_bound` for `max` and `min`, and `|sum_approx − sum_exact| ≤
+    /// error_bound · total`. Includes the caller-supplied additive base
+    /// term (kernel LUT error) and a float-summation allowance.
+    pub error_bound: f64,
+    /// Pyramid cells visited to produce the answer (0 on the exact path).
+    pub cells: usize,
+}
+
+/// A time-plane answer from the approximate read path: cell means at the
+/// serving level's spatial resolution (`level = 0` ⇒ the exact full-
+/// resolution plane).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxSlice {
+    /// Pyramid level served from (`0` = exact path).
+    pub level: usize,
+    /// Base voxels per cell edge (`2^level`).
+    pub cell: usize,
+    /// Cells per row.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+    /// Row-major `height × width` normalized densities; base voxel
+    /// `(x, y)` maps to `values[(y >> level) · width + (x >> level)]`.
+    pub values: Vec<f64>,
+    /// Certified per-voxel density error bound (as in [`ApproxRange`]).
+    pub error_bound: f64,
+}
+
+/// What [`CubeSnapshot::ensure_pyramids`] did (for build metrics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PyramidBuildReport {
+    /// Slab pyramids built by this call (0 = all were already resident).
+    pub built: usize,
+    /// Wall seconds spent building.
+    pub seconds: f64,
+    /// Total resident pyramid bytes across all slabs after the call.
+    pub bytes: usize,
 }
 
 /// An immutable, consistent view of the whole sharded cube, published
@@ -261,6 +345,191 @@ impl<S: Scalar> CubeSnapshot<S> {
                 .map(|&v| v.to_f64() * inv_n)
                 .collect(),
         )
+    }
+
+    /// Build any missing slab pyramids now (they are otherwise built
+    /// lazily on first approximate read) and report what happened, for
+    /// the serve tier's build-seconds histogram and resident-bytes gauge.
+    pub fn ensure_pyramids(&self) -> PyramidBuildReport {
+        let mut report = PyramidBuildReport {
+            built: 0,
+            seconds: 0.0,
+            bytes: 0,
+        };
+        for plane in &self.shards {
+            if plane.pyramid_if_built().is_none() {
+                let start = Instant::now();
+                let p = plane.pyramid();
+                report.seconds += start.elapsed().as_secs_f64();
+                report.built += 1;
+                report.bytes += p.heap_bytes();
+            } else {
+                report.bytes += plane.pyramid().heap_bytes();
+            }
+        }
+        report
+    }
+
+    /// Resident pyramid bytes across slabs (counting only pyramids some
+    /// read has already built).
+    pub fn pyramid_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|p| p.pyramid_if_built())
+            .map(|p| p.heap_bytes())
+            .sum()
+    }
+
+    /// Exact peak density magnitude of the whole cube,
+    /// `max(|max|, |min|) / n` — the reference scale for relative error
+    /// budgets. Pyramid max/min propagate exactly, so this equals the
+    /// true grid peak (builds pyramids on first use). Zero when empty.
+    pub fn peak_density(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let mut peak = 0.0f64;
+        for plane in &self.shards {
+            match plane.pyramid().root() {
+                Some(root) => peak = peak.max(root.max.abs()).max(root.min.abs()),
+                // A one-voxel slab has no pyramid levels; read it directly.
+                None => peak = peak.max(plane.grid.as_slice()[0].to_f64().abs()),
+            }
+        }
+        peak / self.n as f64
+    }
+
+    /// Error-bounded approximate region aggregates.
+    ///
+    /// Walks down from the coarsest pyramid level until the certified
+    /// per-voxel bound fits the budget `max_err · peak_density()`
+    /// (`base_err` — e.g. the serve kernel's LUT interpolation error, in
+    /// density units — is part of the bound); serves from that level, or
+    /// falls through to the exact path ([`density_range`]
+    /// (Self::density_range), bit-identical) when no level fits or
+    /// `max_err ≤ 0`. The fold visits slabs in ascending T with the same
+    /// clipping as the exact path, so the two agree on which voxels are
+    /// in the box.
+    pub fn density_range_approx(&self, r: VoxelRange, max_err: f64, base_err: f64) -> ApproxRange {
+        let dims = self.domain.dims();
+        let r = r.clipped(dims);
+        if max_err > 0.0 && self.n > 0 && !r.is_empty() {
+            let budget = max_err * self.peak_density();
+            let inv_n = 1.0 / self.n as f64;
+            let deepest = self
+                .touched(r.t0, r.t1)
+                .map(|p| p.pyramid().levels())
+                .max()
+                .unwrap_or(0);
+            for level in (1..=deepest).rev() {
+                let mut acc = ApproxStats {
+                    sum: 0.0,
+                    max: f64::NEG_INFINITY,
+                    min: f64::INFINITY,
+                    nonzero_upper: 0,
+                    total: 0,
+                    env: 0.0,
+                    scale: 0.0,
+                    cells: 0,
+                };
+                for plane in self.touched(r.t0, r.t1) {
+                    let local = VoxelRange {
+                        t0: r.t0.max(plane.t0) - plane.t0,
+                        t1: r.t1.min(plane.t1) - plane.t0,
+                        ..r
+                    };
+                    let p = plane.pyramid();
+                    // A slab shallower than the walk serves from its own
+                    // coarsest level; a one-voxel slab is served exactly.
+                    let slab_level = level.min(p.levels());
+                    if slab_level == 0 {
+                        let s = stats::range_stats(&plane.grid, local);
+                        acc.sum += s.sum;
+                        acc.max = acc.max.max(s.max);
+                        acc.min = acc.min.min(s.min);
+                        acc.nonzero_upper += s.nonzero;
+                        acc.total += s.total;
+                        acc.scale = acc.scale.max(s.max.abs()).max(s.min.abs());
+                        continue;
+                    }
+                    let a = p.range_estimate(slab_level, local);
+                    acc.sum += a.sum;
+                    acc.max = acc.max.max(a.max);
+                    acc.min = acc.min.min(a.min);
+                    acc.nonzero_upper += a.nonzero_upper;
+                    acc.total += a.total;
+                    acc.env = acc.env.max(a.env);
+                    acc.scale = acc.scale.max(a.scale);
+                    acc.cells += a.cells;
+                }
+                let bound = (acc.env + acc.rounding_slack()) * inv_n + base_err;
+                if bound <= budget {
+                    return ApproxRange {
+                        stats: GridStats {
+                            sum: acc.sum * inv_n,
+                            max: acc.max * inv_n,
+                            min: acc.min * inv_n,
+                            nonzero: acc.nonzero_upper,
+                            total: acc.total,
+                        },
+                        level,
+                        error_bound: bound,
+                        cells: acc.cells,
+                    };
+                }
+            }
+        }
+        ApproxRange {
+            stats: self.density_range(r),
+            level: 0,
+            error_bound: base_err,
+            cells: 0,
+        }
+    }
+
+    /// Error-bounded approximate time plane, or `None` when `t` is out
+    /// of range. Same level walk and budget semantics as
+    /// [`density_range_approx`](Self::density_range_approx); the exact
+    /// fallback returns the full-resolution plane of
+    /// [`density_slice`](Self::density_slice) with `level = 0`.
+    pub fn density_slice_approx(
+        &self,
+        t: usize,
+        max_err: f64,
+        base_err: f64,
+    ) -> Option<ApproxSlice> {
+        let dims = self.domain.dims();
+        if t >= dims.gt {
+            return None;
+        }
+        if max_err > 0.0 && self.n > 0 {
+            let budget = max_err * self.peak_density();
+            let inv_n = 1.0 / self.n as f64;
+            let plane = self.owner(t);
+            let p = plane.pyramid();
+            for level in (1..=p.levels()).rev() {
+                let est = p.slice_estimate(level, t - plane.t0);
+                let bound = (est.env + est.rounding_slack()) * inv_n + base_err;
+                if bound <= budget {
+                    return Some(ApproxSlice {
+                        level,
+                        cell: 1 << level,
+                        width: est.width,
+                        height: est.height,
+                        values: est.values.iter().map(|v| v * inv_n).collect(),
+                        error_bound: bound,
+                    });
+                }
+            }
+        }
+        self.density_slice(t).map(|values| ApproxSlice {
+            level: 0,
+            cell: 1,
+            width: dims.gx,
+            height: dims.gy,
+            values,
+            error_bound: base_err,
+        })
     }
 
     /// The shards whose slabs intersect global layers `[t0, t1)`, in
@@ -675,12 +944,12 @@ impl<S: Scalar, K: SpaceTimeKernel> ShardedWindowStkde<S, K> {
         for (i, shard) in self.shards.iter_mut().enumerate() {
             let current = self.published.get(i).map(|p| p.epoch);
             if current != Some(shard.epoch) {
-                let plane = Arc::new(ShardPlanes {
-                    t0: shard.t0,
-                    t1: shard.t1,
-                    epoch: shard.epoch,
-                    grid: shard.grid.clone(),
-                });
+                let plane = Arc::new(ShardPlanes::new(
+                    shard.t0,
+                    shard.t1,
+                    shard.epoch,
+                    shard.grid.clone(),
+                ));
                 if i < self.published.len() {
                     self.published[i] = plane;
                 } else {
@@ -897,6 +1166,116 @@ mod tests {
         // Requests are clamped, never zero, never past the T axis.
         assert_eq!(cube.reshard(0), 1);
         assert_eq!(cube.reshard(1000), domain().dims().gt.min(MAX_SHARDS));
+    }
+
+    #[test]
+    fn approx_range_bound_holds_and_zero_budget_is_exact() {
+        let points = stream(80, 45);
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 8.0, 4);
+        cube.push_batch(&points);
+        let snap = cube.publish();
+        let boxes = [
+            VoxelRange::full(domain().dims()),
+            VoxelRange {
+                x0: 3,
+                x1: 21,
+                y0: 2,
+                y1: 17,
+                t0: 1,
+                t1: 14,
+            },
+            VoxelRange {
+                x0: 8,
+                x1: 16,
+                y0: 8,
+                y1: 16,
+                t0: 7,
+                t1: 9,
+            },
+        ];
+        for r in boxes {
+            let exact = snap.density_range(r);
+            for max_err in [0.01, 0.1, 0.5] {
+                let a = snap.density_range_approx(r, max_err, 0.0);
+                assert!((a.stats.max - exact.max).abs() <= a.error_bound);
+                assert!((a.stats.min - exact.min).abs() <= a.error_bound);
+                assert!(
+                    (a.stats.sum - exact.sum).abs() <= a.error_bound * exact.total as f64,
+                    "sum {} vs {} bound {}",
+                    a.stats.sum,
+                    exact.sum,
+                    a.error_bound
+                );
+                assert!(a.stats.nonzero >= exact.nonzero);
+                if a.level > 0 {
+                    assert!(a.error_bound <= max_err * snap.peak_density());
+                }
+            }
+            // max_err = 0 (and negative) degenerate to the bit-exact path.
+            for budget in [0.0, -1.0] {
+                let a = snap.density_range_approx(r, budget, 0.0);
+                assert_eq!(a.level, 0);
+                assert_eq!(a.stats, exact);
+                assert_eq!(a.error_bound, 0.0);
+            }
+        }
+        // A generous budget on the full grid serves from the coarsest level.
+        let a = snap.density_range_approx(VoxelRange::full(domain().dims()), 0.9, 0.0);
+        assert!(a.level > 0, "wide budget should serve approximately");
+    }
+
+    #[test]
+    fn approx_slice_bound_holds() {
+        let points = stream(60, 46);
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 8.0, 3);
+        cube.push_batch(&points);
+        let snap = cube.publish();
+        let dims = domain().dims();
+        for t in [0, 5, 11, 15] {
+            let exact = snap.density_slice(t).unwrap();
+            for max_err in [0.05, 0.3] {
+                let a = snap.density_slice_approx(t, max_err, 0.0).unwrap();
+                for y in 0..dims.gy {
+                    for x in 0..dims.gx {
+                        let v = a.values[(y >> a.level) * a.width + (x >> a.level)];
+                        let e = exact[y * dims.gx + x];
+                        assert!(
+                            (v - e).abs() <= a.error_bound,
+                            "t={t} ({x},{y}): {v} vs {e} bound {}",
+                            a.error_bound
+                        );
+                    }
+                }
+            }
+            let a = snap.density_slice_approx(t, 0.0, 0.0).unwrap();
+            assert_eq!(a.level, 0);
+            assert_eq!(a.values, exact);
+        }
+        assert!(snap.density_slice_approx(dims.gt, 0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn pyramids_ride_cow_slabs_across_publishes() {
+        let mut cube = ShardedWindowStkde::<f64>::new(domain(), bw(), 1e6, 4);
+        cube.push_batch(&[Point::new(12.0, 10.0, 1.0)]);
+        let a = cube.publish();
+        let report = a.ensure_pyramids();
+        assert_eq!(report.built, 4);
+        assert!(report.bytes > 0);
+        assert_eq!(a.pyramid_bytes(), report.bytes);
+        // Re-ensuring is free.
+        assert_eq!(a.ensure_pyramids().built, 0);
+        // An early-time write touches only the first slab: the other
+        // slabs' pyramids ride their shared Arcs into the next snapshot,
+        // and only the touched slab re-reduces.
+        cube.push_batch(&[Point::new(12.0, 10.0, 1.5)]);
+        let b = cube.publish();
+        assert!(b.shards()[3].pyramid_if_built().is_some());
+        assert!(b.shards()[0].pyramid_if_built().is_none());
+        assert_eq!(b.ensure_pyramids().built, 1);
+        // Exact peak matches the pyramid-reported peak.
+        let full = b.density_range(VoxelRange::full(domain().dims()));
+        assert_eq!(b.peak_density(), full.max.abs().max(full.min.abs()));
     }
 
     #[test]

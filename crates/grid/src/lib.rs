@@ -36,6 +36,7 @@ pub mod grid3;
 pub mod io;
 pub mod model;
 pub mod morton;
+pub mod pyramid;
 pub mod range;
 pub mod reduce;
 pub mod scalar;
@@ -48,6 +49,7 @@ pub use decomp::{Decomp, Decomposition, SubdomainId};
 pub use dims::GridDims;
 pub use geometry::{Bandwidth, Domain, Extent, Resolution, VoxelBandwidth};
 pub use grid3::Grid3;
+pub use pyramid::{ApproxStats, CellStats, MipPyramid, PyramidLevel, SliceEstimate};
 pub use range::VoxelRange;
 pub use scalar::Scalar;
 pub use shared::{SharedGrid, WriteAudit};

@@ -120,14 +120,84 @@ impl<K: SpaceTimeKernel> Tabulated<K> {
     }
 
     /// Largest absolute spatial error versus the base kernel over a dense
-    /// radius sample — the quantity to budget when choosing bin counts.
+    /// sample — the quantity to budget when choosing bin counts.
+    ///
+    /// Probes half-offset radii, node-aligned squared offsets, *and* a
+    /// dense sweep of the last (boundary-extrapolated) bin. Half-offset
+    /// radii alone — the original sampler — concentrate quadratically
+    /// near `s = 0` and, whenever `samples` is not much larger than the
+    /// bin count, skip whole bins near `s → 1`, including the
+    /// extrapolation region where non-vanishing profiles err the most:
+    /// the old number silently under-reported the true table error.
     pub fn max_spatial_error(&self, samples: usize) -> f64 {
-        (0..samples)
-            .map(|i| {
-                let r = (i as f64 + 0.5) / samples as f64;
-                (self.spatial(r, 0.0) - self.base.spatial(r, 0.0)).abs()
-            })
+        let h = 1.0 / (self.spatial.len() - 1) as f64;
+        let err_at_s = |s: f64| {
+            let r = s.sqrt();
+            (self.spatial(r, 0.0) - self.base.spatial(r, 0.0)).abs()
+        };
+        let half_offsets = (0..samples).map(|i| {
+            let r = (i as f64 + 0.5) / samples as f64;
+            (self.spatial(r, 0.0) - self.base.spatial(r, 0.0)).abs()
+        });
+        // Node-aligned and mid-bin squared offsets cover every bin once
+        // regardless of `samples`.
+        let nodes = (0..self.spatial.len() - 1)
+            .flat_map(|i| [i as f64 * h, (i as f64 + 0.5) * h])
+            .map(err_at_s);
+        // The boundary bin `[1−h, 1)` interpolates toward an extrapolated
+        // node; sweep it densely (strictly inside the open support).
+        let boundary = (1..64).map(|j| err_at_s(1.0 - h * j as f64 / 64.0));
+        half_offsets
+            .chain(nodes)
+            .chain(boundary)
             .fold(0.0, f64::max)
+    }
+
+    /// Certified upper bound on the spatial interpolation error, from
+    /// curvature rather than error sampling: linear interpolation of a
+    /// profile `f` over bins of width `h` errs by at most `M₂·h²/8`
+    /// (`M₂ = max |f″|`), and the boundary bin — whose right node is
+    /// linearly extrapolated from two half-step probes, itself off by at
+    /// most `M₂·h²/4` — by at most `3·M₂·h²/8`. `M₂` is taken from a
+    /// second-difference sweep 8× finer than the table with 2× headroom
+    /// for curvature peaks between probes, so the bound is certified for
+    /// any profile whose curvature that sweep resolves (every kernel in
+    /// this crate; a profile oscillating *between* probes of an
+    /// 8192-point sweep could evade it).
+    pub fn spatial_error_bound(&self) -> f64 {
+        let h = 1.0 / (self.spatial.len() - 1) as f64;
+        let m2 = max_curvature(|s| self.base.spatial(s.sqrt(), 0.0), h);
+        2.0 * m2 * h * h * 3.0 / 8.0 + 4.0 * f64::EPSILON * self.peak(&self.spatial)
+    }
+
+    /// Certified upper bound on the temporal interpolation error (the
+    /// temporal support is closed, so there is no extrapolated node:
+    /// plain `M₂·h²/8` with the same sweep and headroom).
+    pub fn temporal_error_bound(&self) -> f64 {
+        let h = 1.0 / (self.temporal.len() - 1) as f64;
+        let m2 = max_curvature(|q| self.base.temporal(q.sqrt()), h);
+        2.0 * m2 * h * h / 8.0 + 4.0 * f64::EPSILON * self.peak(&self.temporal)
+    }
+
+    /// Certified upper bound on the *product* evaluation error of
+    /// [`SpaceTimeKernel::eval`] versus the base kernel:
+    /// `|lut − base| ≤ εs·Mt + εt·Ms + εs·εt`, where `Ms`/`Mt` are the
+    /// factor peaks. This is the term an error-bounded serving tier folds
+    /// into its reported per-voxel bound when the LUT kernel is the serve
+    /// kernel (scaled by the estimator normalization, independently of
+    /// the event count).
+    pub fn error_bound(&self) -> f64 {
+        let es = self.spatial_error_bound();
+        let et = self.temporal_error_bound();
+        let ms = self.peak(&self.spatial);
+        let mt = self.peak(&self.temporal);
+        es * mt + et * ms + es * et
+    }
+
+    /// Peak magnitude of a factor (max of table nodes — the table brackets
+    /// the interpolant, and the nodes sample the base profile).
+    fn peak(&self, table: &[f64]) -> f64 {
+        table.iter().fold(0.0, |a, &v| a.max(v.abs()))
     }
 
     /// Largest absolute temporal error versus the base kernel.
@@ -150,6 +220,19 @@ impl<K: SpaceTimeKernel> Tabulated<K> {
         let frac = pos - i as f64;
         table[i] + (table[i + 1] - table[i]) * frac
     }
+}
+
+/// Max `|f″|` over `(0, 1)` via second differences on a sweep `8×` finer
+/// than bin width `h`, staying strictly inside the open support.
+fn max_curvature(f: impl Fn(f64) -> f64, h: f64) -> f64 {
+    let d = h / 8.0;
+    let steps = (1.0 / d) as usize;
+    (1..steps.saturating_sub(1))
+        .map(|j| {
+            let x = j as f64 * d;
+            ((f(x - d) - 2.0 * f(x) + f(x + d)) / (d * d)).abs()
+        })
+        .fold(0.0, f64::max)
 }
 
 impl<K: SpaceTimeKernel> SpaceTimeKernel for Tabulated<K> {
@@ -239,6 +322,92 @@ mod tests {
             let w = i as f64 / 10.0;
             assert_eq!(t.temporal(w), t.temporal(-w));
         }
+    }
+
+    /// A profile whose curvature peaks at the open boundary `s → 1` —
+    /// the regime the half-offset-only sampler missed.
+    #[derive(Clone)]
+    struct BoundaryHeavy;
+    impl SpaceTimeKernel for BoundaryHeavy {
+        fn spatial(&self, u: f64, v: f64) -> f64 {
+            let s = u * u + v * v;
+            if s < 1.0 {
+                (4.5 * (s - 1.0)).exp()
+            } else {
+                0.0
+            }
+        }
+        fn temporal(&self, w: f64) -> f64 {
+            let q = w * w;
+            if q <= 1.0 {
+                1.0 - q
+            } else {
+                0.0
+            }
+        }
+        fn name(&self) -> &'static str {
+            "boundary-heavy"
+        }
+    }
+
+    #[test]
+    fn old_half_offset_sampler_under_reported() {
+        // With `samples` at or below the bin count, half-offset radius
+        // probes (the pre-fix sampler) never land in the extrapolated
+        // boundary bin, where this profile errs ~3× worse than interior.
+        let t = Tabulated::with_bins(BoundaryHeavy, 256, 256);
+        let samples = 128;
+        let old = (0..samples)
+            .map(|i| {
+                let r = (i as f64 + 0.5) / samples as f64;
+                (t.spatial(r, 0.0) - t.base().spatial(r, 0.0)).abs()
+            })
+            .fold(0.0, f64::max);
+        let new = t.max_spatial_error(samples);
+        assert!(
+            new > old * 1.3,
+            "fixed sampler must expose the boundary error: old {old}, new {new}"
+        );
+    }
+
+    #[test]
+    fn error_bounds_dominate_measured_error() {
+        fn check<K: SpaceTimeKernel + Clone>(base: K) {
+            let t = Tabulated::with_bins(base, 128, 128);
+            let (es, et) = (t.spatial_error_bound(), t.temporal_error_bound());
+            let (ms, mt) = (t.max_spatial_error(20_000), t.max_temporal_error(20_000));
+            assert!(ms <= es, "{}: spatial {ms} > bound {es}", t.base().name());
+            assert!(mt <= et, "{}: temporal {mt} > bound {et}", t.base().name());
+            // Product evals obey the combined bound.
+            let eb = t.error_bound();
+            for i in 0..60 {
+                for j in 0..60 {
+                    let (r, w) = (i as f64 / 60.0, j as f64 / 60.0);
+                    let (u, v) = (r / 2f64.sqrt(), r / 2f64.sqrt());
+                    let d = (t.eval(u, v, w) - t.base().eval(u, v, w)).abs();
+                    assert!(d <= eb, "{}: eval err {d} > bound {eb}", t.base().name());
+                }
+            }
+        }
+        check(Epanechnikov);
+        check(Quartic);
+        check(crate::Triweight);
+        check(crate::Uniform);
+        check(TruncatedGaussian::default());
+        check(BoundaryHeavy);
+    }
+
+    #[test]
+    fn linear_profiles_have_negligible_bound() {
+        // Epanechnikov is linear in s: the certified bound collapses to
+        // the fp floor, so the approximate serve path reports (near-)zero
+        // kernel error for the default serve kernel family.
+        let t = Tabulated::new(Epanechnikov);
+        assert!(t.spatial_error_bound() < 1e-12);
+        assert!(t.error_bound() < 1e-12);
+        let g = Tabulated::new(TruncatedGaussian::default());
+        assert!(g.error_bound() > 0.0);
+        assert!(g.error_bound() < 1e-3);
     }
 
     #[test]

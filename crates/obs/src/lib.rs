@@ -194,6 +194,15 @@ pub mod names {
     /// Entries currently cached.
     pub const CACHE_ENTRIES: &str = "stkde_cache_entries";
 
+    /// Approximate-path answers computed, labeled by pyramid `level`
+    /// (`level="0"` = the budget missed every level and the query was
+    /// served exactly).
+    pub const APPROX_QUERIES: &str = "stkde_approx_queries_total";
+    /// Wall seconds spent building slab mip pyramids.
+    pub const APPROX_PYRAMID_BUILD_SECONDS: &str = "stkde_approx_pyramid_build_seconds";
+    /// Resident bytes of slab mip pyramids in the published snapshot.
+    pub const APPROX_PYRAMID_BYTES: &str = "stkde_approx_pyramid_bytes";
+
     /// Messages sent, labeled by `rank`.
     pub const COMM_MSGS_SENT: &str = "stkde_comm_msgs_sent_total";
     /// Payload bytes sent, labeled by `rank`.

@@ -12,15 +12,21 @@
 //! live count unchanged) keeps the key intact, so sharding makes the
 //! cache *more* durable, not less.
 //!
-//! Capacities are tiny (tens of entries), so the cache favors simplicity:
-//! a vector ordered most-recently-used-first with linear lookup.
+//! Capacities are tiny (tens of entries), so lookup stays a linear scan —
+//! but recency is a per-entry stamp, not vector order: a hit bumps one
+//! `u64` instead of shifting the vector twice (`remove` + `insert(0)`
+//! moved every entry on every hit), and eviction replaces the
+//! minimum-stamp slot in place. The service stores encoded response
+//! bodies as `Arc<[u8]>`, so a hit is a refcount bump, never a byte copy.
 
 /// An LRU cache with hit/miss accounting.
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     cap: usize,
-    /// Most recently used first.
-    entries: Vec<(K, V)>,
+    /// Unordered storage; the `u64` is the entry's last-use stamp.
+    entries: Vec<(K, V, u64)>,
+    /// Monotone use counter handing out recency stamps.
+    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -31,20 +37,27 @@ impl<K: Eq, V: Clone> LruCache<K, V> {
         Self {
             cap,
             entries: Vec::new(),
+            tick: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Look up `key`, promoting it to most-recently-used on a hit.
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit. The value
+    /// comes back via `Clone` — for the service's `Arc<[u8]>` bodies
+    /// that is a refcount bump, not a copy of the encoded payload.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        match self.entries.iter().position(|(k, _)| k == key) {
-            Some(i) => {
+        let tick = self.next_tick();
+        match self.entries.iter_mut().find(|(k, _, _)| k == key) {
+            Some(entry) => {
                 self.hits += 1;
-                let entry = self.entries.remove(i);
-                let value = entry.1.clone();
-                self.entries.insert(0, entry);
-                Some(value)
+                entry.2 = tick;
+                Some(entry.1.clone())
             }
             None => {
                 self.misses += 1;
@@ -59,11 +72,25 @@ impl<K: Eq, V: Clone> LruCache<K, V> {
         if self.cap == 0 {
             return;
         }
-        if let Some(i) = self.entries.iter().position(|(k, _)| k == &key) {
-            self.entries.remove(i);
+        let tick = self.next_tick();
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            entry.1 = value;
+            entry.2 = tick;
+            return;
         }
-        self.entries.insert(0, (key, value));
-        self.entries.truncate(self.cap);
+        if self.entries.len() < self.cap {
+            self.entries.push((key, value, tick));
+            return;
+        }
+        // Full: overwrite the stalest slot in place (no shifting).
+        let lru = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("cap > 0 and the cache is full");
+        self.entries[lru] = (key, value, tick);
     }
 
     /// Number of cached entries.
@@ -90,6 +117,7 @@ impl<K: Eq, V: Clone> LruCache<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn hit_miss_and_promotion() {
@@ -134,5 +162,40 @@ mod tests {
         assert_eq!(c.get(&("region".into(), "n2,0-8@5".into())), None);
         c.insert(("region".into(), "n2,0-8@5".into()), "new");
         assert_eq!(c.get(&("region".into(), "n2,0-8@5".into())), Some("new"));
+    }
+
+    #[test]
+    fn shared_bodies_are_refcounted_not_copied() {
+        // The serving regression this cache had: `get` promoted by
+        // remove+insert(0) (two O(n) shifts) and the value clone was a
+        // payload copy for owned types. With `Arc<[u8]>` values, a hit
+        // must hand back the *same allocation*.
+        let mut c: LruCache<u32, Arc<[u8]>> = LruCache::new(2);
+        let body: Arc<[u8]> = b"{\"sum\":1.0}".as_slice().into();
+        c.insert(7, Arc::clone(&body));
+        let hit = c.get(&7).expect("just inserted");
+        assert!(
+            Arc::ptr_eq(&hit, &body),
+            "cache hit must share the stored allocation"
+        );
+        // original + cached copy + returned hit
+        assert_eq!(Arc::strong_count(&body), 3);
+    }
+
+    #[test]
+    fn eviction_follows_stamp_recency_under_churn() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1 and 3; 2 becomes the LRU and must be the one replaced.
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        c.insert(4, 40);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.get(&4), Some(40));
     }
 }

@@ -82,8 +82,8 @@ impl Request {
 pub enum Body {
     /// Bytes owned by this response.
     Owned(Vec<u8>),
-    /// Bytes shared with the query cache.
-    Shared(Arc<str>),
+    /// Bytes shared with the query cache (refcounted, never copied).
+    Shared(Arc<[u8]>),
 }
 
 impl Body {
@@ -91,7 +91,7 @@ impl Body {
     pub fn as_bytes(&self) -> &[u8] {
         match self {
             Body::Owned(v) => v,
-            Body::Shared(s) => s.as_bytes(),
+            Body::Shared(s) => s,
         }
     }
 }
@@ -119,7 +119,7 @@ impl Response {
 
     /// A JSON response from an already-encoded body (the cached-read
     /// path: the cached bytes are shared, not copied, per request).
-    pub fn json_body(status: u16, body: Arc<str>) -> Self {
+    pub fn json_body(status: u16, body: Arc<[u8]>) -> Self {
         Self {
             status,
             content_type: "application/json",

@@ -90,7 +90,7 @@ pub(crate) mod test_support {
 pub use client::{Client, ClientError};
 pub use config::{ServerConfig, USAGE};
 pub use http::{HttpServer, Request, Response};
-pub use service::{DensityService, ServiceConfig, ShutdownError};
+pub use service::{DensityService, ServeKernel, ServiceConfig, ShutdownError};
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};

@@ -58,6 +58,11 @@ pub(crate) struct ServerMetrics {
     pub cache_misses: Counter,
     /// Entries currently in the response cache.
     pub cache_entries: Gauge,
+    /// Wall seconds per slab mip-pyramid (re)build on the approximate
+    /// read path.
+    pub pyramid_build_seconds: Histogram,
+    /// Resident pyramid bytes in the published snapshot.
+    pub pyramid_bytes: Gauge,
     /// Seconds since service start.
     pub uptime: Gauge,
 }
@@ -94,6 +99,8 @@ impl ServerMetrics {
             cache_hits: g.counter(names::CACHE_HITS, &[]),
             cache_misses: g.counter(names::CACHE_MISSES, &[]),
             cache_entries: g.gauge(names::CACHE_ENTRIES, &[]),
+            pyramid_build_seconds: g.histogram(names::APPROX_PYRAMID_BUILD_SECONDS, &[]),
+            pyramid_bytes: g.gauge(names::APPROX_PYRAMID_BYTES, &[]),
             uptime: g.gauge(names::UPTIME_SECONDS, &[]),
         }
     }
@@ -132,6 +139,15 @@ pub(crate) fn shard_metrics(idx: usize) -> ShardMetrics {
         epoch: g.gauge(names::SHARD_EPOCH, labels),
         layers: g.gauge(names::SHARD_LAYERS, labels),
     }
+}
+
+/// The per-level hit counter of the approximate read path. The `level`
+/// label is dynamic (the pyramid depth depends on grid and slab shape),
+/// so this resolves through the registry per computed answer — which is
+/// once per cache miss, never per request.
+pub(crate) fn approx_query_counter(level: usize) -> Counter {
+    let level = level.to_string();
+    global().counter(names::APPROX_QUERIES, &[("level", level.as_str())])
 }
 
 /// Record one HTTP request into the global registry. `path` is folded
@@ -328,6 +344,21 @@ pub(crate) fn describe_catalog() {
         (names::CACHE_HITS, c, "Query-cache hits."),
         (names::CACHE_MISSES, c, "Query-cache misses."),
         (names::CACHE_ENTRIES, ga, "Entries in the query cache."),
+        (
+            names::APPROX_QUERIES,
+            c,
+            "Approximate-path answers computed, by pyramid level (0 = budget missed, served exact).",
+        ),
+        (
+            names::APPROX_PYRAMID_BUILD_SECONDS,
+            h,
+            "Wall seconds per slab mip-pyramid (re)build on the approximate read path.",
+        ),
+        (
+            names::APPROX_PYRAMID_BYTES,
+            ga,
+            "Resident mip-pyramid bytes in the published snapshot.",
+        ),
         (names::COMM_MSGS_SENT, c, "Messages sent by rank."),
         (names::COMM_BYTES_SENT, c, "Payload bytes sent by rank."),
         (names::COMM_MSGS_RECV, c, "Messages received by rank."),

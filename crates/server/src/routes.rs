@@ -7,8 +7,8 @@
 //! | `/metrics`  | GET  | Prometheus text exposition of the obs registry |
 //! | `/trace`    | GET  | recent spans from the obs trace ring |
 //! | `/density`  | GET  | one voxel's density (`x`, `y`, `t`) |
-//! | `/region`   | GET  | aggregate over a voxel box (`x0..t1`, default full grid) |
-//! | `/slice`    | GET  | one time plane (`t`) |
+//! | `/region`   | GET  | aggregate over a voxel box (`x0..t1`, default full grid; optional `max_err`) |
+//! | `/slice`    | GET  | one time plane (`t`; optional `max_err`) |
 //! | `/events`   | POST | ingest one event or a batch |
 //! | `/reshard`  | POST | repartition the cube into `shards` temporal slabs |
 //! | `/shutdown` | POST | ask the daemon to stop gracefully |
@@ -17,6 +17,16 @@
 //! never take the writer's cube lock. Region and slice responses are
 //! additionally memoized in the epoch-vector-keyed LRU cache; voxel
 //! reads are cheap enough to always hit the snapshot.
+//!
+//! `max_err` on `/region` and `/slice` is a *relative* error budget:
+//! the answer may deviate from the exact density by at most
+//! `max_err × peak_density`. The service walks the slab mip pyramids
+//! down from the coarsest level and serves the first level whose
+//! certified bound (pyramid envelope + float-summation slack + the
+//! serve kernel's LUT error) fits; such responses carry `approx`,
+//! `level`, and the certified `error_bound` (per-voxel, density units).
+//! Omitting `max_err` (or sending `0`) takes the exact path,
+//! byte-identical to a request without the parameter.
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -79,6 +89,20 @@ fn param_usize_or(req: &Request, name: &str, default: usize) -> Result<usize, Re
     }
 }
 
+/// The optional `max_err` relative error budget (absent ⇒ `0` = exact).
+fn param_max_err(req: &Request) -> Result<f64, Response> {
+    let Some(raw) = req.query_param("max_err") else {
+        return Ok(0.0);
+    };
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
+        _ => Err(Response::error(
+            400,
+            format!("bad `max_err`: {raw:?} is not a finite non-negative number"),
+        )),
+    }
+}
+
 fn density(svc: &DensityService, req: &Request) -> Response {
     let (x, y, t) = match (
         param_usize(req, "x"),
@@ -123,11 +147,57 @@ fn region(svc: &DensityService, req: &Request) -> Response {
         Ok(r) => r,
         Err(e) => return e,
     };
+    let max_err = match param_max_err(req) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    // Clamp client voxel indices to the grid; a box that is inverted
+    // (`x0 >= x1`) or lies entirely outside the grid clips to nothing —
+    // that is a caller error, not a degenerate zero-voxel answer.
     let clipped = r.clipped(dims);
-    let key = format!(
+    if clipped.is_empty() {
+        return Response::error(
+            400,
+            format!(
+                "empty voxel box {}-{},{}-{},{}-{} after clipping to grid {dims} \
+                 (bounds must satisfy lo < hi and intersect the grid)",
+                r.x0, r.x1, r.y0, r.y1, r.t0, r.t1
+            ),
+        );
+    }
+    let mut key = format!(
         "region:{}-{},{}-{},{}-{}",
         clipped.x0, clipped.x1, clipped.y0, clipped.y1, clipped.t0, clipped.t1
     );
+    if max_err > 0.0 {
+        // Approximate answers are distinct cache entries; the exact-path
+        // key (and therefore its bytes) is untouched by this feature.
+        key.push_str(&format!(",e{max_err}"));
+        let body = svc.cached_read(&key, clipped.t0, clipped.t1, |snap| {
+            svc.note_pyramid_build(&snap.ensure_pyramids());
+            let a = snap.density_range_approx(clipped, max_err, svc.kernel_error_bound());
+            svc.note_approx_query(a.level);
+            let s = &a.stats;
+            Json::obj([
+                ("x0", Json::from(clipped.x0)),
+                ("x1", Json::from(clipped.x1)),
+                ("y0", Json::from(clipped.y0)),
+                ("y1", Json::from(clipped.y1)),
+                ("t0", Json::from(clipped.t0)),
+                ("t1", Json::from(clipped.t1)),
+                ("sum", Json::from(s.sum)),
+                ("max", Json::from(s.max)),
+                ("min", Json::from(s.min)),
+                ("nonzero", Json::from(s.nonzero)),
+                ("voxels", Json::from(s.total)),
+                ("approx", Json::from(a.level > 0)),
+                ("level", Json::from(a.level)),
+                ("error_bound", Json::from(a.error_bound)),
+                ("generation", Json::from(snap.generation())),
+            ])
+        });
+        return Response::json_body(200, body);
+    }
     let body = svc.cached_read(&key, clipped.t0, clipped.t1, |snap| {
         let s = snap.density_range(clipped);
         let empty = s.total == 0;
@@ -158,6 +228,35 @@ fn slice(svc: &DensityService, req: &Request) -> Response {
     let dims = svc.domain().dims();
     if t >= dims.gt {
         return Response::error(400, format!("t={t} outside grid {dims}"));
+    }
+    let max_err = match param_max_err(req) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    if max_err > 0.0 {
+        let key = format!("slice:{t},e{max_err}");
+        let body = svc.cached_read(&key, t, t + 1, |snap| {
+            svc.note_pyramid_build(&snap.ensure_pyramids());
+            let a = snap
+                .density_slice_approx(t, max_err, svc.kernel_error_bound())
+                .expect("t bounds checked above");
+            svc.note_approx_query(a.level);
+            let values = a.values.into_iter().map(Json::from).collect();
+            Json::obj([
+                ("t", Json::from(t)),
+                ("gx", Json::from(dims.gx)),
+                ("gy", Json::from(dims.gy)),
+                ("approx", Json::from(a.level > 0)),
+                ("level", Json::from(a.level)),
+                ("cell", Json::from(a.cell)),
+                ("width", Json::from(a.width)),
+                ("height", Json::from(a.height)),
+                ("error_bound", Json::from(a.error_bound)),
+                ("generation", Json::from(snap.generation())),
+                ("values", Json::Arr(values)),
+            ])
+        });
+        return Response::json_body(200, body);
     }
     let key = format!("slice:{t}");
     let body = svc.cached_read(&key, t, t + 1, |snap| {
@@ -414,17 +513,150 @@ mod tests {
         assert_eq!(body.get("voxels").unwrap().as_u64(), Some(12 * 10 * 8));
         // Out-of-range bounds clip rather than error.
         let clipped = handle(&svc, &request("GET", "/region", &[("x1", "999")], ""));
+        assert_eq!(clipped.status, 200);
         let body = Json::parse(std::str::from_utf8(clipped.body.as_bytes()).unwrap()).unwrap();
         assert_eq!(body.get("x1").unwrap().as_u64(), Some(12));
-        // Inverted bounds are an empty box, not a panic.
-        let inverted = handle(
+    }
+
+    #[test]
+    fn region_rejects_inverted_and_empty_boxes() {
+        // Regression: these used to be trusted verbatim and served as a
+        // degenerate zero-voxel answer (sum 0, max null) with a cache
+        // entry to boot. They are client errors.
+        let svc = service();
+        for (name, params) in [
+            ("inverted x", vec![("x0", "5"), ("x1", "2")]),
+            ("zero-width t", vec![("t0", "3"), ("t1", "3")]),
+            ("entirely outside grid", vec![("x0", "100"), ("x1", "200")]),
+            ("inverted after clip", vec![("y0", "999")]),
+        ] {
+            let resp = handle(&svc, &request("GET", "/region", &params, ""));
+            assert_eq!(resp.status, 400, "{name} must be rejected");
+            let msg = std::str::from_utf8(resp.body.as_bytes()).unwrap();
+            assert!(msg.contains("empty voxel box"), "unhelpful 400: {msg}");
+        }
+    }
+
+    #[test]
+    fn region_max_err_validates_and_serves_certified_answers() {
+        let _serial = crate::test_support::serial();
+        let svc = service();
+        for raw in ["-1", "abc", "NaN", "inf"] {
+            let resp = handle(&svc, &request("GET", "/region", &[("max_err", raw)], ""));
+            assert_eq!(resp.status, 400, "max_err={raw} must be rejected");
+        }
+        svc.enqueue(
+            (0..40)
+                .map(|k| Point::new((k % 12) as f64, (k % 10) as f64, 0.1 * k as f64))
+                .collect(),
+        )
+        .unwrap();
+        svc.wait_drained();
+
+        let parse = |resp: Response| {
+            assert_eq!(resp.status, 200);
+            Json::parse(std::str::from_utf8(resp.body.as_bytes()).unwrap()).unwrap()
+        };
+        let exact = parse(handle(&svc, &request("GET", "/region", &[], "")));
+        let approx = parse(handle(
             &svc,
-            &request("GET", "/region", &[("x0", "5"), ("x1", "2")], ""),
+            &request("GET", "/region", &[("max_err", "0.5")], ""),
+        ));
+        let bound = approx.get("error_bound").unwrap().as_f64().unwrap();
+        assert!(approx.get("approx").unwrap().as_bool().is_some());
+        assert!(approx.get("level").unwrap().as_u64().is_some());
+        assert!(bound >= 0.0);
+        let voxels = exact.get("voxels").unwrap().as_f64().unwrap();
+        let d_sum = (approx.get("sum").unwrap().as_f64().unwrap()
+            - exact.get("sum").unwrap().as_f64().unwrap())
+        .abs();
+        assert!(
+            d_sum <= bound * voxels,
+            "sum off by {d_sum}, certified {bound} × {voxels} voxels"
         );
-        assert_eq!(inverted.status, 200);
-        let body = Json::parse(std::str::from_utf8(inverted.body.as_bytes()).unwrap()).unwrap();
-        assert_eq!(body.get("voxels").unwrap().as_u64(), Some(0));
-        assert_eq!(body.get("max"), Some(&Json::Null));
+        let d_max = (approx.get("max").unwrap().as_f64().unwrap()
+            - exact.get("max").unwrap().as_f64().unwrap())
+        .abs();
+        assert!(d_max <= bound, "max off by {d_max}, certified {bound}");
+        // The certified nonzero count is an upper bound on the truth.
+        assert!(
+            approx.get("nonzero").unwrap().as_u64().unwrap()
+                >= exact.get("nonzero").unwrap().as_u64().unwrap()
+        );
+
+        // `max_err=0` is the exact path, byte-for-byte.
+        let plain = handle(&svc, &request("GET", "/region", &[], ""));
+        let zero = handle(&svc, &request("GET", "/region", &[("max_err", "0")], ""));
+        assert_eq!(plain.body.as_bytes(), zero.body.as_bytes());
+    }
+
+    #[test]
+    fn slice_max_err_downsamples_within_bound() {
+        let _serial = crate::test_support::serial();
+        let svc = service();
+        svc.enqueue(
+            (0..30)
+                .map(|k| Point::new((k % 12) as f64, ((k * 3) % 10) as f64, 0.05 * k as f64))
+                .collect(),
+        )
+        .unwrap();
+        svc.wait_drained();
+
+        let parse = |resp: Response| {
+            assert_eq!(resp.status, 200);
+            Json::parse(std::str::from_utf8(resp.body.as_bytes()).unwrap()).unwrap()
+        };
+        let exact = parse(handle(&svc, &request("GET", "/slice", &[("t", "1")], "")));
+        let approx = parse(handle(
+            &svc,
+            &request("GET", "/slice", &[("t", "1"), ("max_err", "0.9")], ""),
+        ));
+        let level = approx.get("level").unwrap().as_u64().unwrap() as usize;
+        let width = approx.get("width").unwrap().as_u64().unwrap() as usize;
+        let height = approx.get("height").unwrap().as_u64().unwrap() as usize;
+        let cell = approx.get("cell").unwrap().as_u64().unwrap() as usize;
+        assert_eq!(cell, 1 << level);
+        let bound = approx.get("error_bound").unwrap().as_f64().unwrap();
+        let coarse: Vec<f64> = approx
+            .get("values")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(coarse.len(), width * height);
+        let fine: Vec<f64> = exact
+            .get("values")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        // Every base voxel must sit within the certified bound of the
+        // cell mean that covers it.
+        for (i, &v) in fine.iter().enumerate() {
+            let (x, y) = (i % 12, i / 12);
+            let c = coarse[(y >> level) * width + (x >> level)];
+            assert!(
+                (c - v).abs() <= bound,
+                "voxel ({x},{y}): |{c} − {v}| > {bound} at level {level}"
+            );
+        }
+
+        // `max_err=0` is the exact path, byte-for-byte.
+        let plain = handle(&svc, &request("GET", "/slice", &[("t", "1")], ""));
+        let zero = handle(
+            &svc,
+            &request("GET", "/slice", &[("t", "1"), ("max_err", "0")], ""),
+        );
+        assert_eq!(plain.body.as_bytes(), zero.body.as_bytes());
+        let bad = handle(
+            &svc,
+            &request("GET", "/slice", &[("t", "1"), ("max_err", "-0.5")], ""),
+        );
+        assert_eq!(bad.status, 400);
     }
 
     #[test]

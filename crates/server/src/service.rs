@@ -38,16 +38,95 @@
 
 use crate::cache::LruCache;
 use crate::json::Json;
-use crate::metrics::{shard_metrics, ServerMetrics};
+use crate::metrics::{approx_query_counter, shard_metrics, ServerMetrics};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use stkde_core::{CubeSnapshot, ShardedWindowStkde};
+use stkde_core::{CubeSnapshot, Problem, PyramidBuildReport, ShardedWindowStkde};
 use stkde_data::Point;
 use stkde_grid::{Bandwidth, Domain, GridStats, VoxelRange};
+use stkde_kernels::{Epanechnikov, SpaceTimeKernel, Tabulated};
+
+/// The kernel the serving cube rasterizes with.
+///
+/// The default is the tabulated (LUT) Epanechnikov: same scatter
+/// complexity, cheaper per-voxel evaluation, and — the property the
+/// approximate read path needs — a *certified* interpolation error
+/// ([`Tabulated::error_bound`]) that the service folds into every
+/// reported `error_bound`. `Exact` keeps the analytic kernel (zero base
+/// error) for callers that want bit-parity with the offline PB-SYM
+/// algorithms.
+#[derive(Debug, Clone)]
+pub enum ServeKernel {
+    /// Analytic Epanechnikov (no tabulation error).
+    Exact(Epanechnikov),
+    /// Tabulated Epanechnikov with a certified interpolation bound.
+    Lut(Tabulated<Epanechnikov>),
+}
+
+impl ServeKernel {
+    /// The analytic kernel.
+    pub fn exact() -> Self {
+        ServeKernel::Exact(Epanechnikov)
+    }
+
+    /// The tabulated kernel at its default resolution.
+    pub fn lut() -> Self {
+        ServeKernel::Lut(Tabulated::new(Epanechnikov))
+    }
+
+    /// Certified bound on `|k_served − k_exact|` per kernel evaluation
+    /// (zero for the analytic kernel).
+    pub fn error_bound(&self) -> f64 {
+        match self {
+            ServeKernel::Exact(_) => 0.0,
+            ServeKernel::Lut(lut) => lut.error_bound(),
+        }
+    }
+
+    /// Parse a `--kernel` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lut" => Ok(Self::lut()),
+            "exact" => Ok(Self::exact()),
+            other => Err(format!("unknown kernel `{other}` (use `lut` or `exact`)")),
+        }
+    }
+}
+
+impl Default for ServeKernel {
+    fn default() -> Self {
+        Self::lut()
+    }
+}
+
+impl SpaceTimeKernel for ServeKernel {
+    #[inline]
+    fn spatial(&self, u: f64, v: f64) -> f64 {
+        match self {
+            ServeKernel::Exact(k) => k.spatial(u, v),
+            ServeKernel::Lut(k) => k.spatial(u, v),
+        }
+    }
+
+    #[inline]
+    fn temporal(&self, w: f64) -> f64 {
+        match self {
+            ServeKernel::Exact(k) => k.temporal(w),
+            ServeKernel::Lut(k) => k.temporal(w),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ServeKernel::Exact(k) => k.name(),
+            ServeKernel::Lut(k) => k.name(),
+        }
+    }
+}
 
 /// Configuration of a [`DensityService`].
 #[derive(Debug, Clone)]
@@ -68,12 +147,16 @@ pub struct ServiceConfig {
     /// Temporal-slab shard count (`0` = the `STKDE_SHARDS` environment
     /// variable, else 4; always clamped to the grid's T extent).
     pub shards: usize,
+    /// The kernel the cube rasterizes with (default: tabulated
+    /// Epanechnikov, whose certified interpolation bound feeds the
+    /// approximate read path).
+    pub kernel: ServeKernel,
 }
 
 impl ServiceConfig {
     /// A config with serving defaults: cache 64 entries, coalesce up to
     /// 1024 events per write-lock acquisition, no auto-rebuild, shard
-    /// count from the environment.
+    /// count from the environment, LUT serve kernel.
     pub fn new(domain: Domain, bandwidth: Bandwidth, window: f64) -> Self {
         Self {
             domain,
@@ -83,6 +166,7 @@ impl ServiceConfig {
             cache_capacity: 64,
             ingest_batch_cap: 1024,
             shards: 0,
+            kernel: ServeKernel::default(),
         }
     }
 
@@ -103,7 +187,7 @@ impl ServiceConfig {
 /// between the service handle and the ingest thread.
 #[derive(Debug)]
 struct CubeState {
-    cube: Mutex<ShardedWindowStkde<f64>>,
+    cube: Mutex<ShardedWindowStkde<f64, ServeKernel>>,
     snapshot: RwLock<Arc<CubeSnapshot<f64>>>,
 }
 
@@ -113,7 +197,10 @@ impl CubeState {
     /// what keeps published generations monotone when ingest and
     /// reshard race. Also bumps the per-shard publish counters for
     /// every slab that was actually recopied.
-    fn publish_and_swap(&self, cube: &mut ShardedWindowStkde<f64>) -> Arc<CubeSnapshot<f64>> {
+    fn publish_and_swap(
+        &self,
+        cube: &mut ShardedWindowStkde<f64, ServeKernel>,
+    ) -> Arc<CubeSnapshot<f64>> {
         let snap = cube.publish();
         let prev = {
             let mut slot = self.snapshot.write();
@@ -132,6 +219,10 @@ impl CubeState {
     }
 }
 
+/// Query cache: `(query string, epoch-vector key)` → encoded response
+/// bytes — see [`CubeSnapshot::cache_epoch_key`].
+type QueryCache = LruCache<(String, String), Arc<[u8]>>;
+
 /// The long-running density service. Cheap to share: wrap in an [`Arc`]
 /// (as [`DensityService::start`] does) and clone handles freely.
 #[derive(Debug)]
@@ -139,13 +230,20 @@ pub struct DensityService {
     state: Arc<CubeState>,
     tx: Mutex<Option<Sender<Vec<Point>>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
-    /// Keyed on `(query string, epoch-vector key)` — see
-    /// [`CubeSnapshot::cache_epoch_key`].
-    cache: Mutex<LruCache<(String, String), Arc<str>>>,
+    cache: Mutex<QueryCache>,
     metrics: ServerMetrics,
     shutdown_requested: AtomicBool,
     domain: Domain,
     window: f64,
+    /// The serve kernel's certified evaluation error converted to
+    /// per-voxel *density* units: `kernel.error_bound() × norm(n=1)`.
+    /// n-independent — each of the ≤ n live events contributes at most
+    /// `ε·norm_unit` to an unnormalized voxel, and dividing by n for the
+    /// density cancels the count; insert/evict pairs cancel their LUT
+    /// error bit-exactly, so the bound never accumulates over the window.
+    kernel_error: f64,
+    /// [`SpaceTimeKernel::name`] of the configured serve kernel.
+    kernel_name: &'static str,
     started: Instant,
 }
 
@@ -153,11 +251,18 @@ impl DensityService {
     /// Build the sharded cube, publish its empty snapshot, spawn the
     /// writer thread, and return the service.
     pub fn start(config: ServiceConfig) -> Arc<Self> {
-        let mut cube = ShardedWindowStkde::<f64>::new(
+        // Per-voxel density error of the configured kernel (0 for
+        // `exact`): the unit-problem norm is exactly the factor one
+        // event's kernel evaluation is scaled by before the final ÷n.
+        let kernel_error =
+            config.kernel.error_bound() * Problem::new(config.domain, config.bandwidth, 1).norm;
+        let kernel_name = config.kernel.name();
+        let mut cube = ShardedWindowStkde::<f64, ServeKernel>::with_kernel(
             config.domain,
             config.bandwidth,
             config.window,
             config.resolved_shards(),
+            config.kernel.clone(),
         );
         if let Some(n) = config.auto_rebuild_every {
             cube = cube.auto_rebuild_every(n);
@@ -195,8 +300,40 @@ impl DensityService {
             shutdown_requested: AtomicBool::new(false),
             domain: config.domain,
             window: config.window,
+            kernel_error,
+            kernel_name,
             started: Instant::now(),
         })
+    }
+
+    /// Certified per-voxel density error of the configured serve kernel
+    /// (0 for the analytic kernel). Query handlers fold this into every
+    /// reported `error_bound`, exact path included.
+    pub fn kernel_error_bound(&self) -> f64 {
+        self.kernel_error
+    }
+
+    /// The configured serve kernel's name (`"epanechnikov"`,
+    /// `"tabulated(epanechnikov)"`, …).
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel_name
+    }
+
+    /// Record a pyramid build into the obs registry: build seconds are
+    /// observed only when slabs were actually (re-)reduced, the resident
+    /// bytes gauge always tracks the published snapshot.
+    pub(crate) fn note_pyramid_build(&self, report: &PyramidBuildReport) {
+        if report.built > 0 {
+            self.metrics.pyramid_build_seconds.observe(report.seconds);
+        }
+        self.metrics.pyramid_bytes.set(report.bytes as f64);
+    }
+
+    /// Count one approximate-path answer served from pyramid `level`
+    /// (`level = 0` means the budget missed every level and the query
+    /// fell through to the exact path).
+    pub(crate) fn note_approx_query(&self, level: usize) {
+        approx_query_counter(level).inc();
     }
 
     /// The cube's domain.
@@ -305,7 +442,7 @@ impl DensityService {
         t0: usize,
         t1: usize,
         compute: impl FnOnce(&CubeSnapshot<f64>) -> Json,
-    ) -> Arc<str> {
+    ) -> Arc<[u8]> {
         let snap = self.snapshot();
         let full_key = (key.to_string(), snap.cache_epoch_key(t0, t1));
         if let Some(hit) = self.cache.lock().get(&full_key) {
@@ -313,7 +450,7 @@ impl DensityService {
             return hit;
         }
         self.metrics.cache_misses.inc();
-        let encoded: Arc<str> = compute(&snap).encode().into();
+        let encoded: Arc<[u8]> = compute(&snap).encode().into_bytes().into();
         let mut cache = self.cache.lock();
         cache.insert(full_key, Arc::clone(&encoded));
         self.metrics.cache_entries.set(cache.len() as f64);
@@ -366,6 +503,9 @@ impl DensityService {
                     ("gt", Json::from(dims.gt)),
                 ]),
             ),
+            ("kernel", Json::from(self.kernel_name)),
+            ("kernel_error_bound", Json::from(self.kernel_error)),
+            ("pyramid_bytes", Json::from(snap.pyramid_bytes())),
             ("cache_entries", Json::from(self.cache.lock().len())),
             ("cache_hits", Json::from(m.cache_hits.get())),
             ("cache_misses", Json::from(m.cache_misses.get())),

@@ -22,7 +22,7 @@ use stkde_core::{CubeSnapshot, SlidingWindowStkde};
 use stkde_data::{synth, Point};
 use stkde_grid::{Bandwidth, Domain, GridDims, VoxelRange};
 use stkde_server::json::Json;
-use stkde_server::{DensityService, ServiceConfig};
+use stkde_server::{DensityService, ServeKernel, ServiceConfig};
 
 /// Serialize against the other server tests in this binary: the obs
 /// registry is process-global and the torture test is timing-sensitive.
@@ -89,8 +89,16 @@ fn sharded_service_is_bit_identical_to_single_lock_cube() {
         let mut cfg = config(window, shards);
         cfg.auto_rebuild_every = Some(16);
         let svc = DensityService::start(cfg);
-        let mut reference =
-            SlidingWindowStkde::<f64>::new(domain(), bandwidth(), window).auto_rebuild_every(16);
+        // The reference must rasterize with the service's kernel (the
+        // LUT default) — `Tabulated::new` builds identical tables from
+        // identical inputs, so bit-identity still holds.
+        let mut reference = SlidingWindowStkde::<f64, _>::with_kernel(
+            domain(),
+            bandwidth(),
+            window,
+            ServeKernel::default(),
+        )
+        .auto_rebuild_every(16);
         for chunk in points.chunks(11) {
             push_and_drain(&svc, chunk);
             reference.push_batch(chunk);
@@ -131,7 +139,12 @@ fn readers_during_resharding_never_observe_torn_state() {
     // The deterministic reference: same chunks, same boundaries, with
     // every reshard mirrored as a rebuild. `expected` maps generation →
     // the one content hash a reader may observe at that generation.
-    let mut reference = SlidingWindowStkde::<f64>::new(domain(), bandwidth(), window);
+    let mut reference = SlidingWindowStkde::<f64, _>::with_kernel(
+        domain(),
+        bandwidth(),
+        window,
+        ServeKernel::default(),
+    );
     let mut expected: HashMap<u64, u64> = HashMap::new();
     let record = |expected: &mut HashMap<u64, u64>, svc: &DensityService| {
         let snap = svc.snapshot();

@@ -150,6 +150,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         println!("note: events were dropped while the probe settled (stale or aged); skipping the read-back assertion");
     }
     expect_2xx("GET /region", client.get("/region"))?;
+    let approx = expect_2xx("GET /region?max_err=0.5", client.get("/region?max_err=0.5"))?;
+    if approx.get("error_bound").and_then(Json::as_f64).is_none() {
+        return Err("approximate region response lacks a numeric `error_bound`".into());
+    }
     expect_2xx("GET /slice", client.get("/slice?t=0"))?;
 
     if shutdown {
@@ -329,6 +333,16 @@ fn print_top_frame(
         total(cur, "stkde_cache_entries")
     );
     println!(
+        "  approx   q {:>12}  pyramid {:>7.1} MiB  build {:>8}  levels {}",
+        fmt_rate(delta("stkde_approx_queries_total"), dt),
+        total(cur, "stkde_approx_pyramid_bytes") / (1024.0 * 1024.0),
+        fmt_secs(scrape::quantile_from_buckets(
+            &buckets(cur, "stkde_approx_pyramid_build_seconds"),
+            0.50,
+        )),
+        approx_levels(cur),
+    );
+    println!(
         "  scatter  pts {:>10}  voxels {:>9}  skipped-zero {skip_pct}",
         fmt_rate(delta("stkde_scatter_points_total"), dt),
         fmt_rate(delta("stkde_scatter_voxels_written_total"), dt),
@@ -342,6 +356,26 @@ fn print_top_frame(
     );
     print_shard_columns(cur);
     println!();
+}
+
+/// Per-level breakdown of approximate answers, `level:count` ascending
+/// (`0` = the error budget missed every pyramid level and the query was
+/// served exactly). `-` until the first `max_err` query arrives.
+fn approx_levels(cur: &[Sample]) -> String {
+    let mut by_level: Vec<(usize, f64)> = cur
+        .iter()
+        .filter(|s| s.name == "stkde_approx_queries_total")
+        .filter_map(|s| Some((s.label("level")?.parse().ok()?, s.value)))
+        .collect();
+    if by_level.is_empty() {
+        return "-".into();
+    }
+    by_level.sort_by_key(|&(l, _)| l);
+    by_level
+        .iter()
+        .map(|(l, c)| format!("{l}:{c:.0}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// One `shards` line per live shard: slab width, content epoch, ingest
